@@ -1,0 +1,252 @@
+package e3
+
+// The benchmark harness: one testing.B benchmark per paper table/figure,
+// each regenerating its experiment through internal/experiments and
+// reporting the headline metric. Run everything with
+//
+//	go test -bench=. -benchmem
+//
+// or a single figure with -bench=BenchmarkFig07. Printed tables are
+// suppressed here; use cmd/e3-bench to see them.
+
+import (
+	"strconv"
+	"testing"
+
+	"e3/internal/experiments"
+)
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and reports its headline number as a custom metric.
+func runExperiment(b *testing.B, id string, metric func(experiments.Table) (float64, string)) {
+	b.Helper()
+	var last experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if metric != nil {
+		v, unit := metric(last)
+		b.ReportMetric(v, unit)
+	}
+}
+
+// lastCell parses the table's last row at the given column as a float.
+func lastCell(t experiments.Table, col int) float64 {
+	if len(t.Rows) == 0 {
+		return 0
+	}
+	row := t.Rows[len(t.Rows)-1]
+	if col >= len(row) {
+		return 0
+	}
+	v, err := strconv.ParseFloat(row[col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+func BenchmarkFig02(b *testing.B) {
+	runExperiment(b, "fig02", func(t experiments.Table) (float64, string) {
+		// BERT-EE latency as % of BERT on SST-2 (row 1).
+		if len(t.Rows) > 1 {
+			v, _ := strconv.ParseFloat(t.Rows[1][3], 64)
+			return v, "ee-latency-%"
+		}
+		return 0, "ee-latency-%"
+	})
+}
+
+func BenchmarkFig03(b *testing.B) {
+	runExperiment(b, "fig03", func(t experiments.Table) (float64, string) {
+		// GPU utilization at the last ramp (QNLI).
+		return lastCell(t, 2), "util-%-ramp12"
+	})
+}
+
+func BenchmarkFig07(b *testing.B) {
+	runExperiment(b, "fig07", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-goodput-b8"
+	})
+}
+
+func BenchmarkFig08(b *testing.B) {
+	runExperiment(b, "fig08", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-goodput-b32"
+	})
+}
+
+func BenchmarkFig09(b *testing.B) {
+	runExperiment(b, "fig09", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-goodput-b32"
+	})
+}
+
+func BenchmarkFig10(b *testing.B) {
+	runExperiment(b, "fig10", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-req/s-b32"
+	})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runExperiment(b, "fig11", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-req/s-b32"
+	})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runExperiment(b, "fig12", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-goodput-b32"
+	})
+}
+
+func BenchmarkFig13(b *testing.B) {
+	runExperiment(b, "fig13", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 4), "e3/best-baseline-b8"
+	})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runExperiment(b, "fig14", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-gpus-b8"
+	})
+}
+
+func BenchmarkFig15(b *testing.B) {
+	runExperiment(b, "fig15", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-$/min-b8"
+	})
+}
+
+func BenchmarkFig16(b *testing.B) {
+	runExperiment(b, "fig16", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 4), "e3-goodput-hard-b8"
+	})
+}
+
+func BenchmarkFig17(b *testing.B) {
+	runExperiment(b, "fig17", func(t experiments.Table) (float64, string) {
+		// E3 homogeneous median latency (row index 2, column 4).
+		if len(t.Rows) > 2 {
+			v, _ := strconv.ParseFloat(t.Rows[2][4], 64)
+			return v, "e3-median-ms"
+		}
+		return 0, "e3-median-ms"
+	})
+}
+
+func BenchmarkFig18(b *testing.B) {
+	runExperiment(b, "fig18", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 5), "e3/pabee-b8"
+	})
+}
+
+func BenchmarkFig19(b *testing.B) {
+	runExperiment(b, "fig19", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 1), "e3-goodput"
+	})
+}
+
+func BenchmarkFig20(b *testing.B) {
+	runExperiment(b, "fig20", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 2), "optimizer-ms-hetero"
+	})
+}
+
+func BenchmarkFig21(b *testing.B) {
+	runExperiment(b, "fig21", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 1), "predicted-batch-cut1"
+	})
+}
+
+func BenchmarkFig22(b *testing.B) {
+	runExperiment(b, "fig22", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 1), "goodput-100%err-b8"
+	})
+}
+
+func BenchmarkFig23(b *testing.B) {
+	runExperiment(b, "fig23", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 5), "e3/dee-entropy0.5-b8"
+	})
+}
+
+func BenchmarkFig24(b *testing.B) {
+	runExperiment(b, "fig24", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 4), "e3-goodput-b64"
+	})
+}
+
+func BenchmarkFig25(b *testing.B) {
+	runExperiment(b, "fig25", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "wrapper-gain-%-b8"
+	})
+}
+
+func BenchmarkFig26(b *testing.B) {
+	runExperiment(b, "fig26", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 5), "mp-on/off-b8"
+	})
+}
+
+func BenchmarkAblationForecaster(b *testing.B) {
+	runExperiment(b, "ablation-forecaster", func(t experiments.Table) (float64, string) {
+		if len(t.Rows) > 0 {
+			v, _ := strconv.ParseFloat(t.Rows[0][1], 64)
+			return v, "arima-trend-mae"
+		}
+		return 0, "arima-trend-mae"
+	})
+}
+
+func BenchmarkAblationPipelining(b *testing.B) {
+	runExperiment(b, "ablation-pipelining", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "pipeline-gain-b8"
+	})
+}
+
+func BenchmarkAblationSplits(b *testing.B) {
+	runExperiment(b, "ablation-splits", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 1), "planned-goodput-5splits"
+	})
+}
+
+func BenchmarkExtensionTuning(b *testing.B) {
+	runExperiment(b, "extension-tuning", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 4), "tuned-goodput-floor90"
+	})
+}
+
+func BenchmarkExtensionContinuous(b *testing.B) {
+	runExperiment(b, "extension-continuous", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 2), "e3/t5-static"
+	})
+}
+
+func BenchmarkExtensionBuffers(b *testing.B) {
+	runExperiment(b, "extension-buffers", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 2), "recovered-gpus"
+	})
+}
+
+func BenchmarkExtensionStraggler(b *testing.B) {
+	runExperiment(b, "extension-straggler", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 1), "straggler-goodput"
+	})
+}
+
+func BenchmarkExtensionMultiTenant(b *testing.B) {
+	runExperiment(b, "extension-multitenant", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 4), "tenant2-measured"
+	})
+}
+
+func BenchmarkProductionStory(b *testing.B) {
+	runExperiment(b, "production", func(t experiments.Table) (float64, string) {
+		return lastCell(t, 3), "e3-$/1M-req"
+	})
+}

@@ -1,0 +1,71 @@
+// Command e3-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	e3-bench -list                 # list experiment IDs
+//	e3-bench -fig fig07            # run one experiment
+//	e3-bench -all                  # run everything (several minutes)
+//	e3-bench fig07 fig12 fig19     # run a selection
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"e3/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	fig := flag.String("fig", "", "run a single experiment by ID")
+	all := flag.Bool("all", false, "run every registered experiment")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *fig != "":
+		ids = []string{*fig}
+	default:
+		ids = flag.Args()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "e3-bench: nothing to run; try -list, -all, or -fig <id>")
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", err)
+			exit = 1
+			continue
+		}
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Print(os.Stdout)
+			fmt.Printf("  (completed in %.1fs)\n\n", time.Since(start).Seconds())
+		}
+	}
+	os.Exit(exit)
+}

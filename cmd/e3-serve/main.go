@@ -1,0 +1,69 @@
+// Command e3-serve plans an E3 deployment and serves it over HTTP/JSON,
+// mirroring the paper's TorchServe front end (§4).
+//
+// Usage:
+//
+//	e3-serve -addr :8080 -model bert-base -gpus V100=16 -batch 8
+//
+// Endpoints:
+//
+//	POST /v1/infer   {"difficulty": 0.42}
+//	GET  /v1/plan
+//	GET  /v1/stats
+//	GET  /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"e3/internal/cliutil"
+	"e3/internal/cluster"
+	"e3/internal/optimizer"
+	"e3/internal/profile"
+	"e3/internal/serving"
+	"e3/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	modelName := flag.String("model", "bert-base", "model: bert-base, bert-large, distilbert, resnet50")
+	gpus := flag.String("gpus", "V100=16", "cluster spec, e.g. V100=6,P100=8,K80=15")
+	batch := flag.Int("batch", 8, "input batch size")
+	slo := flag.Duration("slo", 100*time.Millisecond, "latency SLO")
+	easy := flag.Float64("easy", 0.8, "easy fraction of the expected workload")
+	flag.Parse()
+
+	m, err := cliutil.BuildModel(*modelName, 0.4)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-serve:", err)
+		os.Exit(2)
+	}
+	counts, err := cliutil.ParseGPUSpec(*gpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-serve:", err)
+		os.Exit(2)
+	}
+	clus := cluster.New(counts, 2)
+
+	prof := profile.FromDist(m, workload.Mix(*easy), 8000, 1)
+	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
+		Model: m, Profile: prof, Batch: *batch, Cluster: clus,
+		SLO: slo.Seconds(), SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-serve: planning failed:", err)
+		os.Exit(1)
+	}
+	log.Printf("e3-serve: %s", plan)
+
+	api := serving.NewAPI(m, plan)
+	log.Printf("e3-serve: listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

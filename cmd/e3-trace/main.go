@@ -1,0 +1,50 @@
+// Command e3-trace generates and summarizes request arrival traces: the
+// uniform and Poisson open-loop clients and the bursty Twitter-like trace
+// of §5.7. Output is one arrival timestamp per line (seconds), with a
+// summary on stderr.
+//
+// Usage:
+//
+//	e3-trace -kind bursty -rate 1000 -horizon 300 -seed 1 > trace.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"e3/internal/trace"
+)
+
+func main() {
+	kind := flag.String("kind", "bursty", "trace kind: uniform, poisson, bursty")
+	rate := flag.Float64("rate", 1000, "average request rate (req/s)")
+	horizon := flag.Float64("horizon", 300, "trace duration (s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	summary := flag.Bool("summary", false, "print only the summary")
+	flag.Parse()
+
+	var arr trace.Arrivals
+	switch *kind {
+	case "uniform":
+		arr = trace.Uniform(*rate, *horizon)
+	case "poisson":
+		arr = trace.Poisson(*rate, *horizon, *seed)
+	case "bursty":
+		arr = trace.Bursty(trace.DefaultBursty(*rate), *horizon, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "e3-trace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	if !*summary {
+		w := bufio.NewWriter(os.Stdout)
+		for _, at := range arr {
+			fmt.Fprintf(w, "%.6f\n", at)
+		}
+		w.Flush()
+	}
+	fmt.Fprintf(os.Stderr, "e3-trace: %d arrivals over %.0fs (avg %.1f req/s, burstiness CV²=%.1f)\n",
+		len(arr), *horizon, arr.Rate(*horizon), arr.Burstiness())
+}

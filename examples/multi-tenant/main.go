@@ -1,0 +1,87 @@
+// multi-tenant partitions one shared GPU cluster between two E3-served
+// models — an NLP ranker and a vision classifier — the multi-service shape
+// of the paper's production infrastructure (§2.4).
+//
+//	go run ./examples/multi-tenant
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/multi"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+func main() {
+	tenants := []multi.Tenant{
+		{
+			Name:  "nlp-ranker",
+			Model: ee.NewDeeBERT(model.BERTBase(), 0.4),
+			Dist:  workload.Mix(0.8),
+			Rate:  4000,
+			SLO:   0.100,
+			Batch: 8,
+		},
+		{
+			Name:  "vision",
+			Model: ee.NewBranchyNet(model.ResNet50()),
+			Dist:  workload.ImageNet(),
+			Rate:  8000,
+			SLO:   0.100,
+			Batch: 16,
+		},
+	}
+	clus := cluster.Homogeneous(gpu.V100, 24)
+
+	allocs, err := multi.Plan(clus, tenants)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("partitioning of 24 V100s:")
+	for _, a := range allocs {
+		fmt.Printf("  %-11s %2d devices  plan: %v\n", a.Tenant, len(a.Devices), a.Plan)
+	}
+
+	eng := sim.NewEngine()
+	fleet, err := multi.Deploy(eng, clus, tenants, allocs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve both tenants at their demanded rates for 5 virtual seconds.
+	for _, tn := range tenants {
+		tn := tn
+		gen := workload.NewGenerator(tn.Dist, 7)
+		interval := float64(tn.Batch) / tn.Rate
+		for at := interval; at < 5; at += interval {
+			at := at
+			eng.At(at, func() {
+				if err := fleet.Ingest(tn.Name, gen.Batch(tn.Batch, eng.Now(), tn.SLO)); err != nil {
+					log.Fatal(err)
+				}
+			})
+		}
+	}
+	eng.SetEventLimit(50_000_000)
+	if err := eng.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+	fleet.FlushAll()
+	if err := eng.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nserved:")
+	for _, tn := range tenants {
+		c := fleet.Collector(tn.Name)
+		c.Good.CloseAt(eng.Now())
+		fmt.Printf("  %-11s %6.0f req/s goodput  (%d violations, %d drops)  %s\n",
+			tn.Name, c.Good.Goodput(), c.Violations, c.Dropped, c.Lat.Summarize())
+	}
+}

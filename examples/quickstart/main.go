@@ -1,0 +1,82 @@
+// Quickstart: plan and serve an early-exit BERT on a small simulated
+// cluster, then compare E3 against the vanilla and naive-EE baselines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"e3/internal/cluster"
+	"e3/internal/core"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+func main() {
+	// A 12-layer BERT with DeeBERT-style entropy ramps after every layer.
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	// Eight V100s, two per machine, 10G Ethernet between machines.
+	clus := cluster.Homogeneous(gpu.V100, 8)
+	// Virtual time: the whole run below takes milliseconds of real time.
+	eng := sim.NewEngine()
+
+	sys, err := core.New(eng, clus, m, core.Options{
+		SLO:   0.100, // 100 ms
+		Batch: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Profile the expected workload (80% easy inputs) and plan.
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan:", sys.Plan())
+
+	// Serve 2,000 batches, closed loop.
+	gen := workload.NewGenerator(workload.Mix(0.8), 1)
+	interval := 8 / sys.Plan().Goodput
+	for i := 0; i < 2000; i++ {
+		at := float64(i) * interval
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 0.100)) })
+	}
+	if err := eng.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+	sys.FlushAll()
+	if err := eng.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+
+	c := sys.Collector()
+	fmt.Printf("E3:        %.0f samples/s goodput, %s\n", c.Good.Goodput(), c.Lat.Summarize())
+
+	// The same load through the naive EE baseline (eager per-ramp exits).
+	engB := sim.NewEngine()
+	collB := scheduler.NewCollector(12, 0.100, 0)
+	devs := make([]int, clus.Size())
+	for i := range devs {
+		devs[i] = i
+	}
+	dp, err := scheduler.NewDataParallel(engB, clus, m, devs, collB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	genB := workload.NewGenerator(workload.Mix(0.8), 1)
+	for i := 0; i < 2000; i++ {
+		at := float64(i) * interval
+		engB.At(at, func() { dp.Ingest(genB.Batch(8, engB.Now(), 0.100)) })
+	}
+	if err := engB.RunAll(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("naive EE:  %.0f samples/s goodput, %.1f%% SLO violations\n",
+		collB.Good.Goodput(),
+		100*float64(collB.Violations)/float64(collB.Violations+collB.Good.Served))
+}

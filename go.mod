@@ -1,0 +1,3 @@
+module e3
+
+go 1.22

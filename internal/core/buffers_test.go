@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"e3/internal/workload"
+)
+
+func TestBufferGPUsReservedInSteadyState(t *testing.T) {
+	_, sys := newSys(t, Options{BufferGPUs: 4})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Plan().GPUs; got > 12 {
+		t.Errorf("steady-state plan uses %d GPUs, want ≤ 12 (4 reserved)", got)
+	}
+	if sys.BuffersActive() {
+		t.Error("buffers active at bootstrap")
+	}
+}
+
+func TestBufferGPUsEngageUnderOverload(t *testing.T) {
+	eng, sys := newSys(t, Options{BufferGPUs: 4, ReplanInterval: 1.0})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	steady := sys.Plan().GPUs
+	sys.StartAutoReplan()
+
+	// Offer well beyond the reduced plan's capacity so the window shows
+	// violations; the next tick must pull in the reserve.
+	rate := sys.Plan().Goodput * 1.8
+	gen := workload.NewGenerator(workload.Mix(0.8), 9)
+	interval := 8 / rate
+	for at := interval; at < 3.0; at += interval {
+		at := at
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 0.1)) })
+	}
+	eng.SetEventLimit(50_000_000)
+	if err := eng.Run(3.2); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.BuffersActive() {
+		t.Fatal("overload did not engage the buffer GPUs")
+	}
+	if got := sys.Plan().GPUs; got <= steady {
+		t.Errorf("overload plan uses %d GPUs, want more than steady %d", got, steady)
+	}
+
+	// Let the system drain with no further load: buffers release.
+	sys.StopAutoReplan()
+	// Run two clean windows manually.
+	sys.Collector().ResetWindow()
+	for i := 0; i < 100; i++ {
+		sys.Collector().Complete(workload.Sample{Arrival: eng.Now(), Deadline: eng.Now() + 1}, eng.Now(), 12)
+	}
+	sys.windowTick()
+	if sys.BuffersActive() {
+		t.Error("clean window did not release the buffers")
+	}
+}
+
+func TestWindowBadFracDrivesDetector(t *testing.T) {
+	_, sys := newSys(t, Options{BufferGPUs: 2})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Collector()
+	// 10% violations in this window.
+	for i := 0; i < 90; i++ {
+		c.Complete(workload.Sample{Deadline: 10}, 1, 12)
+	}
+	for i := 0; i < 10; i++ {
+		c.Complete(workload.Sample{Deadline: 0.5}, 1, 12)
+	}
+	if got := c.WindowBadFrac(); got < 0.09 || got > 0.11 {
+		t.Fatalf("window bad frac = %v, want ~0.10", got)
+	}
+	sys.windowTick()
+	if !sys.BuffersActive() {
+		t.Error("10% bad window did not engage buffers")
+	}
+}

@@ -1,0 +1,286 @@
+// Package core is E3's public face: it wires the online batch-profile
+// estimator (§3.1), the DP optimizer (§3.2) and the heterogeneity-aware
+// model-parallel scheduler (§3.3) into one serving system, re-planning
+// every scheduling window and reacting to drift between predicted and
+// observed exit behaviour.
+//
+// Typical use:
+//
+//	eng := sim.NewEngine()
+//	sys, _ := core.New(eng, clus, ee.NewDeeBERT(model.BERTBase(), 0.4), core.Options{
+//	    SLO: 0.100, Batch: 8,
+//	})
+//	_ = sys.Bootstrap(workload.Mix(0.8))
+//	sys.StartAutoReplan()
+//	... feed batches via sys.Ingest ...
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/forecast"
+	"e3/internal/optimizer"
+	"e3/internal/profile"
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// Options configures an E3 system.
+type Options struct {
+	// SLO is the end-to-end latency bound in seconds (required).
+	SLO float64
+	// SlackFrac reserves SLO headroom; the paper uses 20% (default 0.2).
+	SlackFrac float64
+	// Batch is B0, the constant batch size (required).
+	Batch int
+	// ReplanInterval is the scheduling window; the paper re-runs the
+	// optimizer every 2 minutes (default 120 s).
+	ReplanInterval float64
+	// DriftThreshold re-plans early when the observed profile departs
+	// from the prediction by more than this survival gap (default 0.15).
+	DriftThreshold float64
+	// DisableModelParallel and DisablePipelining run the §5.8 ablations.
+	DisableModelParallel bool
+	DisablePipelining    bool
+	// UseExitWrapper disables unproductive interior ramps (§3.4).
+	UseExitWrapper bool
+	// BufferGPUs holds back this many devices from steady-state plans;
+	// they join the cluster when a window shows overload and are released
+	// when load normalizes (§3.1's spike buffer resources).
+	BufferGPUs int
+	// OverloadBadFrac and RecoverBadFrac are the per-window bad-outcome
+	// fractions that engage and release the buffers (defaults 2% / 0.5%).
+	OverloadBadFrac, RecoverBadFrac float64
+	// ForecastMethod selects ARIMA (default) or persistence.
+	ForecastMethod forecast.Method
+	// BootstrapSamples sizes the offline profile estimate (default 8000).
+	BootstrapSamples int
+	// Seed drives bootstrap sampling.
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlackFrac == 0 {
+		o.SlackFrac = 0.2
+	}
+	if o.ReplanInterval == 0 {
+		o.ReplanInterval = 120
+	}
+	if o.DriftThreshold == 0 {
+		o.DriftThreshold = 0.15
+	}
+	if o.BootstrapSamples == 0 {
+		o.BootstrapSamples = 8000
+	}
+	if o.OverloadBadFrac == 0 {
+		o.OverloadBadFrac = 0.02
+	}
+	if o.RecoverBadFrac == 0 {
+		o.RecoverBadFrac = 0.005
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// System is a running E3 deployment.
+type System struct {
+	eng   *sim.Engine
+	clus  *cluster.Cluster
+	model *ee.EEModel
+	opts  Options
+
+	est  *forecast.Estimator
+	coll *scheduler.Collector
+	pipe *scheduler.Pipeline
+	plan optimizer.Plan
+
+	predicted profile.Batch
+	replans   int
+	started   bool
+	// buffersActive expands plans onto the reserved buffer devices.
+	buffersActive bool
+}
+
+// New assembles an (un-bootstrapped) system.
+func New(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, opts Options) (*System, error) {
+	opts = opts.withDefaults()
+	if eng == nil || clus == nil || m == nil {
+		return nil, errors.New("core: nil engine, cluster or model")
+	}
+	if opts.SLO <= 0 {
+		return nil, errors.New("core: SLO required")
+	}
+	if opts.Batch < 1 {
+		return nil, errors.New("core: batch required")
+	}
+	est := forecast.NewEstimator(m.Base.NumLayers())
+	est.Method = opts.ForecastMethod
+	return &System{
+		eng: eng, clus: clus, model: m, opts: opts,
+		est:  est,
+		coll: scheduler.NewCollector(m.Base.NumLayers(), opts.SLO, eng.Now()),
+	}, nil
+}
+
+// Bootstrap profiles the workload offline, plans, and builds the pipeline.
+func (s *System) Bootstrap(dist workload.Dist) error {
+	prof := profile.FromDist(s.model, dist, s.opts.BootstrapSamples, s.opts.Seed)
+	return s.applyProfile(prof)
+}
+
+// BootstrapWithProfile plans directly from a known profile (used by
+// experiments that inject prediction error, §5.8.3).
+func (s *System) BootstrapWithProfile(prof profile.Batch) error {
+	return s.applyProfile(prof)
+}
+
+func (s *System) applyProfile(prof profile.Batch) error {
+	plan, err := optimizer.MaximizeGoodput(s.config(prof))
+	if err != nil {
+		return fmt.Errorf("core: planning failed: %w", err)
+	}
+	pipe, err := scheduler.NewPipeline(s.eng, s.clus, s.model, plan, s.coll)
+	if err != nil {
+		return fmt.Errorf("core: binding plan: %w", err)
+	}
+	s.predicted = prof
+	s.plan = plan
+	s.pipe = pipe
+	return nil
+}
+
+// planCluster is the device pool the next plan may use: the full cluster
+// when buffers are engaged, otherwise the cluster minus the reserve.
+func (s *System) planCluster() *cluster.Cluster {
+	if s.opts.BufferGPUs <= 0 || s.buffersActive {
+		return s.clus
+	}
+	n := s.clus.Size() - s.opts.BufferGPUs
+	if n < 1 {
+		n = 1
+	}
+	return s.clus.Subset(n)
+}
+
+func (s *System) config(prof profile.Batch) optimizer.Config {
+	return optimizer.Config{
+		Model:                s.model,
+		Profile:              prof,
+		Batch:                s.opts.Batch,
+		Cluster:              s.planCluster(),
+		SLO:                  s.opts.SLO,
+		SlackFrac:            s.opts.SlackFrac,
+		Pipelining:           !s.opts.DisablePipelining,
+		ModelParallel:        !s.opts.DisableModelParallel,
+		DisableInteriorRamps: s.opts.UseExitWrapper,
+	}
+}
+
+// Ingest implements scheduler.Runner.
+func (s *System) Ingest(batch []workload.Sample) {
+	if s.pipe == nil {
+		panic("core: Ingest before Bootstrap")
+	}
+	s.pipe.Ingest(batch)
+}
+
+// Collector implements scheduler.Runner.
+func (s *System) Collector() *scheduler.Collector { return s.coll }
+
+// FlushAll drains partial merge queues (end of run).
+func (s *System) FlushAll() {
+	if s.pipe != nil {
+		s.pipe.FlushAll()
+	}
+}
+
+// Plan returns the active plan.
+func (s *System) Plan() optimizer.Plan { return s.plan }
+
+// Replans reports how many times the system rebuilt its pipeline.
+func (s *System) Replans() int { return s.replans }
+
+// PredictedProfile returns the profile behind the active plan.
+func (s *System) PredictedProfile() profile.Batch { return s.predicted }
+
+// StartAutoReplan schedules the per-window control loop: observe the
+// window's exit histogram, feed the estimator, forecast the next window,
+// and re-plan. Between windows, a drift check re-plans early if the
+// observed profile has departed sharply from the prediction (§3.1).
+// The loop reschedules itself indefinitely; call StopAutoReplan before
+// draining the engine with RunAll, or bound the run with Engine.Run.
+func (s *System) StartAutoReplan() {
+	if s.started {
+		return
+	}
+	s.started = true
+	s.scheduleWindow()
+}
+
+// StopAutoReplan halts the control loop after its next firing.
+func (s *System) StopAutoReplan() { s.started = false }
+
+func (s *System) scheduleWindow() {
+	s.eng.After(s.opts.ReplanInterval, func() {
+		if !s.started {
+			return
+		}
+		s.windowTick()
+		s.scheduleWindow()
+	})
+	// Mid-window drift check.
+	s.eng.After(s.opts.ReplanInterval/2, func() {
+		if !s.started {
+			return
+		}
+		obs := s.coll.ObservedProfile()
+		if obs.MaxAbsDiff(s.predicted) > s.opts.DriftThreshold {
+			s.replanFrom(obs)
+		}
+	})
+}
+
+// BuffersActive reports whether the spike reserve is currently deployed.
+func (s *System) BuffersActive() bool { return s.buffersActive }
+
+func (s *System) windowTick() {
+	obs := s.coll.ObservedProfile()
+	bad := s.coll.WindowBadFrac()
+	s.est.Observe(obs)
+	s.coll.ResetWindow()
+	// Spike buffers: engage on overload, release once the window is clean.
+	if s.opts.BufferGPUs > 0 {
+		if !s.buffersActive && bad > s.opts.OverloadBadFrac {
+			s.buffersActive = true
+		} else if s.buffersActive && bad < s.opts.RecoverBadFrac {
+			s.buffersActive = false
+		}
+	}
+	pred := s.est.Predict()
+	s.replanFrom(pred)
+}
+
+// replanFrom recomputes the plan and swaps the pipeline. In-flight batches
+// finish on the old instances; new ingests land on the new ones (the
+// transparent reconfiguration §4 describes).
+func (s *System) replanFrom(prof profile.Batch) {
+	plan, err := optimizer.MaximizeGoodput(s.config(prof))
+	if err != nil {
+		// Keep serving on the old plan; a later window may succeed.
+		return
+	}
+	pipe, err := scheduler.NewPipeline(s.eng, s.clus, s.model, plan, s.coll)
+	if err != nil {
+		return
+	}
+	s.predicted = prof
+	s.plan = plan
+	s.pipe = pipe
+	s.replans++
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"testing"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/forecast"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/profile"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+func newSys(t *testing.T, opts Options) (*sim.Engine, *System) {
+	t.Helper()
+	eng := sim.NewEngine()
+	clus := cluster.Homogeneous(gpu.V100, 16)
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	if opts.SLO == 0 {
+		opts.SLO = 0.1
+	}
+	if opts.Batch == 0 {
+		opts.Batch = 8
+	}
+	sys, err := New(eng, clus, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, sys
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	clus := cluster.Homogeneous(gpu.V100, 4)
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	if _, err := New(nil, clus, m, Options{SLO: 0.1, Batch: 8}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(eng, clus, m, Options{Batch: 8}); err == nil {
+		t.Error("zero SLO accepted")
+	}
+	if _, err := New(eng, clus, m, Options{SLO: 0.1}); err == nil {
+		t.Error("zero batch accepted")
+	}
+}
+
+func TestBootstrapAndServe(t *testing.T) {
+	eng, sys := newSys(t, Options{})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Plan().Splits) == 0 {
+		t.Fatal("no plan after bootstrap")
+	}
+	gen := workload.NewGenerator(workload.Mix(0.8), 1)
+	for i := 0; i < 100; i++ {
+		at := float64(i) * sys.Plan().CycleTime
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 10)) })
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	sys.FlushAll()
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Collector()
+	if got := c.Good.Served + c.Violations; got != 800 {
+		t.Fatalf("served+violated = %d, want 800", got)
+	}
+}
+
+func TestIngestBeforeBootstrapPanics(t *testing.T) {
+	_, sys := newSys(t, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("Ingest before Bootstrap did not panic")
+		}
+	}()
+	sys.Ingest(workload.NewGenerator(workload.Mix(0.8), 2).Batch(8, 0, 1))
+}
+
+func TestAutoReplanWindows(t *testing.T) {
+	eng, sys := newSys(t, Options{ReplanInterval: 1.0})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	sys.StartAutoReplan()
+	gen := workload.NewGenerator(workload.Mix(0.8), 3)
+	// Feed steadily for 5 windows.
+	for at := 0.01; at < 5.0; at += 0.01 {
+		at := at
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 10)) })
+	}
+	eng.SetEventLimit(20_000_000)
+	if err := eng.Run(5.1); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Replans() < 3 {
+		t.Errorf("replans = %d after 5 windows, want ≥ 3", sys.Replans())
+	}
+}
+
+func TestReplanAdaptsToWorkloadShift(t *testing.T) {
+	// §5.4: bootstrap on easy traffic, shift to hard; the profiler must
+	// move the planned first-split survival upward.
+	eng, sys := newSys(t, Options{ReplanInterval: 1.0})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	easyCut := sys.PredictedProfile().At(7)
+	sys.StartAutoReplan()
+	gen := workload.NewGenerator(workload.Mix(0.2), 4) // hard from the start
+	for at := 0.01; at < 6.0; at += 0.01 {
+		at := at
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 10)) })
+	}
+	eng.SetEventLimit(20_000_000)
+	if err := eng.Run(6.1); err != nil {
+		t.Fatal(err)
+	}
+	hardCut := sys.PredictedProfile().At(7)
+	if hardCut <= easyCut {
+		t.Errorf("predicted mid-model survival did not rise after shift: %v → %v", easyCut, hardCut)
+	}
+	if sys.Replans() == 0 {
+		t.Error("no replans despite drastic workload shift")
+	}
+}
+
+func TestExitWrapperOption(t *testing.T) {
+	_, sys := newSys(t, Options{UseExitWrapper: true})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if !sys.Plan().DisabledInteriorRamps {
+		t.Error("exit-wrapper plan not flagged")
+	}
+}
+
+func TestForecastMethodOption(t *testing.T) {
+	_, sys := newSys(t, Options{ForecastMethod: forecast.MethodPersistence})
+	if sys.est.Method != forecast.MethodPersistence {
+		t.Error("forecast method not applied")
+	}
+}
+
+func TestBootstrapWithErrorProfile(t *testing.T) {
+	// §5.8.3: planning from a deliberately wrong profile must still
+	// produce a working system (correctness unaffected).
+	eng, sys := newSys(t, Options{})
+	good := sys2Profile(t, sys)
+	if err := sys.BootstrapWithProfile(good.WithError(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(workload.Mix(0.8), 5)
+	for i := 0; i < 50; i++ {
+		at := float64(i) * 0.01
+		eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), 10)) })
+	}
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	sys.FlushAll()
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	c := sys.Collector()
+	if got := c.Good.Served + c.Violations; got != 400 {
+		t.Fatalf("erroneous profile lost samples: %d of 400", got)
+	}
+}
+
+func sys2Profile(t *testing.T, sys *System) profile.Batch {
+	t.Helper()
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	return sys.PredictedProfile()
+}
+
+func TestAblationOptionsProduceWeakerPlans(t *testing.T) {
+	_, full := newSys(t, Options{})
+	if err := full.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	_, noPipe := newSys(t, Options{DisablePipelining: true})
+	if err := noPipe.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	_, noMP := newSys(t, Options{DisableModelParallel: true})
+	if err := noMP.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	if noPipe.Plan().Goodput >= full.Plan().Goodput {
+		t.Errorf("no-pipelining plan %v not below full %v", noPipe.Plan().Goodput, full.Plan().Goodput)
+	}
+	if noMP.Plan().Goodput >= full.Plan().Goodput {
+		t.Errorf("no-MP plan %v not below full %v", noMP.Plan().Goodput, full.Plan().Goodput)
+	}
+	if noMP.Plan().ModelParallel {
+		t.Error("no-MP plan mislabelled")
+	}
+}
+
+func TestStopAutoReplanHaltsLoop(t *testing.T) {
+	eng, sys := newSys(t, Options{ReplanInterval: 1.0})
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		t.Fatal(err)
+	}
+	sys.StartAutoReplan()
+	sys.StopAutoReplan()
+	// With the loop stopped, the engine must drain completely.
+	eng.SetEventLimit(1_000_000)
+	if err := eng.RunAll(); err != nil {
+		t.Fatalf("engine did not drain after StopAutoReplan: %v", err)
+	}
+	if sys.Replans() != 0 {
+		t.Errorf("replans = %d after immediate stop", sys.Replans())
+	}
+}

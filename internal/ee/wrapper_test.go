@@ -1,0 +1,86 @@
+package ee
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"e3/internal/model"
+)
+
+// TestWrapperEquivalenceProperty: disabling interior ramps (keeping a set
+// of boundary ramps active) must map every input's exit to the first
+// *active boundary* at or after its original exit — never earlier, never
+// past a boundary it would have crossed. This is the invariant that makes
+// the §3.4 wrapper safe: split outputs are identical, only where the
+// decision is applied changes.
+func TestWrapperEquivalenceProperty(t *testing.T) {
+	base := model.BERTBase()
+	orig := NewDeeBERT(base, 0.4)
+	rng := rand.New(rand.NewSource(41))
+
+	f := func(rawBounds [2]uint8, rawDiff uint16) bool {
+		// Two distinct boundaries in [1, 11].
+		b1 := int(rawBounds[0]%11) + 1
+		b2 := int(rawBounds[1]%11) + 1
+		if b1 == b2 {
+			b2 = b1%11 + 1
+		}
+		bounds := []int{b1, b2}
+		sort.Ints(bounds)
+
+		wrapped := orig.Clone()
+		keep := map[int]bool{bounds[0]: true, bounds[1]: true}
+		for _, r := range wrapped.Ramps() {
+			if !keep[r] {
+				if err := wrapped.Disable(r); err != nil {
+					return false
+				}
+			}
+		}
+
+		d := float64(rawDiff) / 65535
+		e0 := orig.ExitLayerFor(d)
+		e1 := wrapped.ExitLayerFor(d)
+		if e1 < e0 {
+			return false // wrapper may delay an exit, never hasten it
+		}
+		// The wrapped exit must be the first kept boundary ≥ e0, or L.
+		want := base.NumLayers()
+		for _, b := range bounds {
+			if b >= e0 {
+				want = b
+				break
+			}
+		}
+		return e1 == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWrapperPreservesBoundarySurvival: for any difficulty, whether a
+// sample survives past a kept boundary is identical with and without
+// interior ramps — the property E3's merging correctness rests on.
+func TestWrapperPreservesBoundarySurvival(t *testing.T) {
+	base := model.BERTBase()
+	orig := NewDeeBERT(base, 0.4)
+	wrapped := orig.Clone()
+	const boundary = 6
+	for _, r := range wrapped.Ramps() {
+		if r != boundary {
+			if err := wrapped.Disable(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for d := 0.0; d <= 1.0; d += 0.001 {
+		s0 := orig.ExitLayerFor(d) > boundary
+		s1 := wrapped.ExitLayerFor(d) > boundary
+		if s0 != s1 {
+			t.Fatalf("boundary survival differs at d=%v: orig=%v wrapped=%v", d, s0, s1)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+// Package exec runs batches of samples through contiguous layer segments
+// of an (early-exit) model on a simulated GPU. It is the shared execution
+// substrate: the vanilla and naive-EE baselines run the whole model as one
+// segment; E3's scheduler runs each split as a segment and merges the
+// survivors.
+//
+// Time accounting per layer k with a currently-active batch b:
+//
+//	layer compute   spec.LayerTime(flops_k, b)
+//	ramp check      spec.LayerTime(rampFLOPs, b) + 2·launch   (if enabled)
+//	batch reform    ReformOverhead                            (if exits occurred)
+//
+// Samples that exit at a ramp complete at that instant; if the active batch
+// drains to zero the remaining layers are skipped entirely (the batch-1
+// win of EE models).
+package exec
+
+import (
+	"fmt"
+
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/workload"
+)
+
+// Overhead constants, calibrated to DeeBERT-style PyTorch serving.
+const (
+	// SyncBase is the fixed cost of one exit check's device-host
+	// synchronization: the GPU pipeline drains while logits cross PCIe and
+	// the host evaluates the exit criterion. Single-sample streams skip it
+	// (no batch bookkeeping; frameworks fuse the check into decode).
+	SyncBase = 500e-6
+	// SyncPerSample is the host-side per-sample share of an exit check
+	// (entropy evaluation, index bookkeeping in framework-speed host code).
+	SyncPerSample = 60e-6
+	// ReformOverhead is the fixed host-side cost of compacting a batch
+	// after some samples exited (gather launch + bookkeeping).
+	ReformOverhead = 150e-6
+	// ReformPerSample is the per-survivor activation gather cost.
+	ReformPerSample = 20e-6
+)
+
+// rampCheckTime is the full cost of evaluating one ramp over an active
+// batch in eager mode: the ramp head kernels plus the synchronization
+// stall. Batch 1 skips the stall — a single-sample stream needs no batch
+// bookkeeping.
+func rampCheckTime(spec gpu.Spec, rampFLOPs float64, active int) float64 {
+	t := spec.LayerTime(rampFLOPs, active) + 2*spec.LaunchOverhead
+	if active > 1 {
+		t += SyncBase + float64(active)*SyncPerSample
+	}
+	return t
+}
+
+// rampCheckTimeFrac mirrors rampCheckTime for fractional expected batches.
+func rampCheckTimeFrac(spec gpu.Spec, rampFLOPs, active float64) float64 {
+	t := spec.LayerTimeFrac(rampFLOPs, 0, active) + 2*spec.LaunchOverhead
+	if active > 1 {
+		t += SyncBase + active*SyncPerSample
+	}
+	return t
+}
+
+// Completion records one sample finishing, Offset seconds after the
+// segment started.
+type Completion struct {
+	Sample workload.Sample
+	Offset float64
+	// ExitLayer is the 1-based layer after which the sample left.
+	ExitLayer int
+}
+
+// Result summarizes one segment execution.
+type Result struct {
+	// Duration is the total busy time of the device for this batch.
+	Duration float64
+	// HandoffDelay is host-side work (boundary sync, batch reform) that
+	// happens after the device frees: E3's pipelining overlaps it with the
+	// next batch, so it delays survivors and completions but not the
+	// device (RunSplit only; zero for eager segments).
+	HandoffDelay float64
+	// Completions lists samples that finished inside this segment.
+	Completions []Completion
+	// Survivors continue to the next segment (empty if the segment ends
+	// at the final layer).
+	Survivors []workload.Sample
+	// UsefulFLOPs is the model compute performed (excludes ramp checks),
+	// for utilization accounting.
+	UsefulFLOPs float64
+}
+
+// RunSegment executes layers [from, to] (1-based, inclusive) of m over the
+// batch on the given GPU spec, with a straggler slowdown factor (1 =
+// healthy). It panics on malformed segment bounds — those are planner bugs.
+func RunSegment(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spec, slowdown float64) Result {
+	L := m.Base.NumLayers()
+	if from < 1 || to > L || from > to {
+		panic(fmt.Sprintf("exec: bad segment [%d,%d] for %d-layer model", from, to, L))
+	}
+	if slowdown < 1 {
+		slowdown = 1
+	}
+
+	var res Result
+	if len(batch) == 0 {
+		return res
+	}
+
+	// Partition samples by exit layer once.
+	exitAt := make([]int, len(batch))
+	for i, s := range batch {
+		exitAt[i] = m.ExitLayerFor(s.Difficulty)
+		if exitAt[i] < from {
+			// Defensive: a sample routed past its exit point completes
+			// immediately (upstream should have removed it).
+			res.Completions = append(res.Completions, Completion{Sample: s, Offset: 0, ExitLayer: exitAt[i]})
+			exitAt[i] = -1
+		}
+	}
+
+	t := 0.0
+	active := 0
+	for _, e := range exitAt {
+		if e >= from {
+			active++
+		}
+	}
+	rampFLOPs := m.RampFLOPs()
+
+	for k := from; k <= to && active > 0; k++ {
+		layer := m.Base.Layers[k-1]
+		t += spec.LayerTimeW(layer.FLOPs, layer.WeightBytes, active) * slowdown
+		res.UsefulFLOPs += layer.FLOPs * float64(active)
+
+		checkHere := m.HasRampAfter(k) || k == L
+		if !checkHere {
+			continue
+		}
+		t += rampCheckTime(spec, rampFLOPs, active) * slowdown
+
+		exited := 0
+		for i, e := range exitAt {
+			if e == k || (k == L && e >= from) {
+				res.Completions = append(res.Completions, Completion{Sample: batch[i], Offset: t, ExitLayer: e})
+				exitAt[i] = -1
+				exited++
+			}
+		}
+		active -= exited
+		if exited > 0 && active > 0 && k < to {
+			t += (ReformOverhead + float64(active)*ReformPerSample) * slowdown
+		}
+	}
+
+	if to < L {
+		for i, e := range exitAt {
+			if e >= from {
+				res.Survivors = append(res.Survivors, batch[i])
+				_ = e
+			}
+		}
+	}
+	res.Duration = t
+	return res
+}
+
+// RunSplit executes layers [from, to] the way E3 runs a split: as one
+// compiled graph over a *constant* batch. Ramp heads inside the split run
+// inline as cheap GPU kernels (no host sync); exit decisions are applied
+// once, at the split boundary, where a single sync and batch reform
+// happens. Samples whose exit ramp lies inside the split therefore ride
+// along to the boundary — E3's compute saving comes from not forwarding
+// them to the next split, not from shrinking mid-split.
+func RunSplit(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spec, slowdown float64) Result {
+	L := m.Base.NumLayers()
+	if from < 1 || to > L || from > to {
+		panic(fmt.Sprintf("exec: bad split [%d,%d] for %d-layer model", from, to, L))
+	}
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	var res Result
+	if len(batch) == 0 {
+		return res
+	}
+	b := len(batch)
+	rampFLOPs := m.RampFLOPs()
+
+	t := 0.0
+	for k := from; k <= to; k++ {
+		layer := m.Base.Layers[k-1]
+		t += spec.LayerTimeW(layer.FLOPs, layer.WeightBytes, b) * slowdown
+		res.UsefulFLOPs += layer.FLOPs * float64(b)
+		if m.HasRampAfter(k) || k == L {
+			// Inline ramp head: kernels only, decision deferred.
+			t += (spec.LayerTime(rampFLOPs, b) + 2*spec.LaunchOverhead) * slowdown
+		}
+	}
+	res.Duration = t
+
+	// The boundary sync applies all deferred exit decisions; it runs on
+	// the host after the device frees, so it lands in HandoffDelay.
+	handoff := (SyncBase + float64(b)*SyncPerSample) * slowdown
+	exited := 0
+	for _, s := range batch {
+		e := m.ExitLayerFor(s.Difficulty)
+		if e <= to {
+			res.Completions = append(res.Completions, Completion{Sample: s, ExitLayer: e})
+			exited++
+		} else {
+			res.Survivors = append(res.Survivors, s)
+		}
+	}
+	if exited > 0 && len(res.Survivors) > 0 {
+		handoff += (ReformOverhead + float64(len(res.Survivors))*ReformPerSample) * slowdown
+	}
+	res.HandoffDelay = handoff
+	// Boundary completions happen once decisions are applied.
+	for i := range res.Completions {
+		res.Completions[i].Offset = t + handoff
+	}
+	return res
+}
+
+// SplitHandoff predicts RunSplit's HandoffDelay for planning.
+func SplitHandoff(batch int, exitFrac float64) float64 {
+	h := SyncBase + float64(batch)*SyncPerSample
+	if exitFrac > 1e-9 && exitFrac < 1-1e-9 {
+		h += ReformOverhead + float64(batch)*(1-exitFrac)*ReformPerSample
+	}
+	return h
+}
+
+// SplitTime predicts RunSplit's duration for a constant batch without
+// materializing samples; exitFrac is the expected fraction of the batch
+// exiting at the boundary (drives the reform term).
+func SplitTime(m *ee.EEModel, from, to int, batch int, exitFrac float64, spec gpu.Spec) float64 {
+	L := m.Base.NumLayers()
+	if from < 1 || to > L || from > to {
+		panic(fmt.Sprintf("exec: bad split [%d,%d] for %d-layer model", from, to, L))
+	}
+	if batch <= 0 {
+		return 0
+	}
+	rampFLOPs := m.RampFLOPs()
+	t := 0.0
+	for k := from; k <= to; k++ {
+		l := m.Base.Layers[k-1]
+		t += spec.LayerTimeW(l.FLOPs, l.WeightBytes, batch)
+		if m.HasRampAfter(k) || k == L {
+			t += spec.LayerTime(rampFLOPs, batch) + 2*spec.LaunchOverhead
+		}
+	}
+	_ = exitFrac // the boundary handoff is predicted by SplitHandoff
+	return t
+}
+
+// SegmentTime predicts the busy time of a segment for a *fractional*
+// expected batch profile, matching RunSegment's accounting. survival[k]
+// must give the expected batch size entering layer k (1-based); it is the
+// optimizer's P(k,c,B) aggregation (§3.2).
+func SegmentTime(m *ee.EEModel, from, to int, batchAt func(k int) float64, spec gpu.Spec) float64 {
+	L := m.Base.NumLayers()
+	if from < 1 || to > L || from > to {
+		panic(fmt.Sprintf("exec: bad segment [%d,%d] for %d-layer model", from, to, L))
+	}
+	rampFLOPs := m.RampFLOPs()
+	t := 0.0
+	for k := from; k <= to; k++ {
+		b := batchAt(k)
+		if b <= 1e-9 {
+			break
+		}
+		t += spec.LayerTimeFrac(m.Base.Layers[k-1].FLOPs, m.Base.Layers[k-1].WeightBytes, b)
+		if m.HasRampAfter(k) || k == L {
+			t += rampCheckTimeFrac(spec, rampFLOPs, b)
+			next := 0.0
+			if k+1 <= L {
+				next = batchAt(k + 1)
+			}
+			if next < b-1e-9 && next > 1e-9 && k < to {
+				t += ReformOverhead + next*ReformPerSample
+			}
+		}
+	}
+	return t
+}

@@ -1,0 +1,161 @@
+package experiments
+
+// Extension experiments: features the paper flags as future work, built
+// and measured here — real-time ramp tuning (§3.4), spike-buffer resources
+// (§3.1), and the synergy question with Orca-style iterative scheduling
+// (§5.1.3's deferral).
+
+import (
+	"e3/internal/cluster"
+	"e3/internal/core"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/llm"
+	"e3/internal/model"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+func init() {
+	register("extension-tuning", ExtensionTuning)
+	register("extension-continuous", ExtensionContinuous)
+	register("extension-buffers", ExtensionBuffers)
+}
+
+// ExtensionTuning demonstrates accuracy-budgeted ramp tuning: given an
+// accuracy floor, pick the loosest entropy threshold and report the
+// goodput it buys (§3.4 future work).
+func ExtensionTuning() Table {
+	dist := workload.SST2()
+	acc := ee.AccuracyModel{BaseAccuracy: 92.7, ExitRisk: ee.DefaultExitRisk}
+	build := func(th float64) *ee.EEModel { return ee.NewDeeBERT(model.BERTBase(), th) }
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 16) }
+
+	t := Table{
+		ID:      "extension-tuning",
+		Title:   "Accuracy-budgeted ramp tuning (SST-2, batch 8, 16xV100)",
+		Columns: []string{"accuracy floor (%)", "tuned entropy", "est accuracy (%)", "mean exit layer", "E3 goodput"},
+		Notes:   "extension of §3.4: the loosest threshold within budget maximizes exits and goodput",
+	}
+	for _, floor := range []float64{92.0, 91.5, 91.0, 90.0} {
+		res, err := ee.TuneEntropy(build, acc, dist, floor, 0.05, 0.95, 11)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{f1(floor), "-", "-", "-", "-"})
+			continue
+		}
+		g := e3Goodput(mk, res.Model, dist, 8, defaultSLO, 271, nil)
+		t.Rows = append(t.Rows, []string{
+			f1(floor), f3(res.Threshold), f2(res.Accuracy), f1(res.MeanExitLayer), f0(g),
+		})
+	}
+	return t
+}
+
+// ExtensionContinuous measures Orca-style iterative scheduling against
+// static batching and E3: continuous batching removes *cross-iteration*
+// padding waste, but the EE batch-shrinking problem remains *within* an
+// iteration — exactly the paper's argument for why E3 is orthogonal.
+func ExtensionContinuous() Table {
+	spec := gpu.Get(gpu.A6000)
+	lengths := llm.UniformLen{Min: 6, Max: 30}
+	dist := workload.WMT()
+	const (
+		slots = 16
+		nGPU  = 4
+		nReqs = 384
+	)
+	avgLen := lengths.Mean()
+
+	t5 := ee.NewVanilla(model.T5Decoder(avgLen))
+	calm := ee.NewCALM(model.T5Decoder(avgLen), 0.25)
+
+	gT5Static := llm.GoodputStatic(t5, lengths, dist, slots, nGPU, spec, 24, 281)
+	gT5Cont := llm.GoodputContinuous(t5, lengths, dist, slots, nGPU, nReqs, spec, 281)
+	gCALMCont := llm.GoodputContinuous(calm, lengths, dist, slots, nGPU, nReqs, spec, 281)
+
+	slo := 0.100 * avgLen / 4
+	gE3 := e3Goodput(func() *cluster.Cluster { return cluster.Homogeneous(gpu.A6000, nGPU) },
+		calm, dist, slots, slo, 281, nil) / avgLen
+
+	t := Table{
+		ID:      "extension-continuous",
+		Title:   "Iterative scheduling (Orca-style) vs E3 (T5 translation, batch 16, 4xA6000)",
+		Columns: []string{"system", "req/s", "vs T5-static"},
+		Notes:   "continuous batching fixes cross-iteration waste; within-iteration EE shrinkage still needs E3's splits",
+	}
+	add := func(name string, g float64) {
+		r := 0.0
+		if gT5Static > 0 {
+			r = g / gT5Static
+		}
+		t.Rows = append(t.Rows, []string{name, f1(g), f2(r)})
+	}
+	add("T5 static", gT5Static)
+	add("T5 + continuous", gT5Cont)
+	add("CALM + continuous", gCALMCont)
+	add("E3 token pipeline", gE3)
+	return t
+}
+
+// ExtensionBuffers exercises the §3.1 spike-buffer mechanism end to end:
+// a burst beyond the steady plan's capacity engages reserved GPUs within
+// one scheduling window.
+func ExtensionBuffers() Table {
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	clus := cluster.Homogeneous(gpu.V100, 16)
+	eng := sim.NewEngine()
+	sys, err := core.New(eng, clus, m, core.Options{
+		SLO: defaultSLO, Batch: 8, ReplanInterval: 2, BufferGPUs: 4,
+	})
+	t := Table{
+		ID:      "extension-buffers",
+		Title:   "Spike buffer resources (4 of 16 V100s reserved)",
+		Columns: []string{"phase", "offered (req/s)", "plan GPUs", "buffers active"},
+		Notes:   "extension of §3.1: overload engages the reserve at the next window, recovery releases it",
+	}
+	if err != nil {
+		return t
+	}
+	if err := sys.Bootstrap(workload.Mix(0.8)); err != nil {
+		return t
+	}
+	sys.StartAutoReplan()
+	gen := workload.NewGenerator(workload.Mix(0.8), 291)
+
+	feed := func(from, to, rate float64) {
+		interval := 8 / rate
+		for at := from + interval; at < to; at += interval {
+			at := at
+			eng.At(at, func() { sys.Ingest(gen.Batch(8, eng.Now(), defaultSLO)) })
+		}
+	}
+	steadyRate := sys.Plan().Goodput * 0.7
+	spikeRate := sys.Plan().Goodput * 1.9
+
+	record := func(phase string, rate float64) {
+		t.Rows = append(t.Rows, []string{phase, f0(rate), itoa(sys.Plan().GPUs), boolStr(sys.BuffersActive())})
+	}
+
+	eng.SetEventLimit(100_000_000)
+	feed(0, 2, steadyRate)
+	_ = eng.Run(2.1)
+	record("steady", steadyRate)
+
+	feed(2.1, 4.1, spikeRate)
+	_ = eng.Run(4.3)
+	record("spike", spikeRate)
+
+	feed(4.3, 12.3, steadyRate)
+	_ = eng.Run(12.5)
+	record("recovered", steadyRate)
+
+	sys.StopAutoReplan()
+	return t
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

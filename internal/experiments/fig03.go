@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/profile"
+	"e3/internal/workload"
+)
+
+func init() { register("fig03", Fig03) }
+
+// Fig03 reproduces Figure 3: samples in a DeeBERT batch exit as they pass
+// the ramps, shrinking the batch and collapsing GPU utilization for the
+// remainder of the model.
+func Fig03() Table {
+	const inputBatch = 8
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	spec := gpu.Get(gpu.V100)
+	t := Table{
+		ID:      "fig03",
+		Title:   "DeeBERT batch decay and GPU utilization per ramp (input batch 8)",
+		Columns: []string{"ramp", "QNLI batch", "QNLI util (%)", "SST-2 batch", "SST-2 util (%)"},
+		Notes:   "paper: ~half the samples exit by ramp 6, cutting utilization by >25% for the rest of the model",
+	}
+	qnli := profile.FromDist(m, workload.QNLI(), 20000, 3)
+	sst2 := profile.FromDist(m, workload.SST2(), 20000, 4)
+	fullUtil := spec.Utilization(inputBatch)
+	for ramp := 1; ramp <= 12; ramp++ {
+		qb := qnli.BatchAt(ramp, inputBatch)
+		sb := sst2.BatchAt(ramp, inputBatch)
+		qu := 100 * spec.UtilizationFrac(qb) / fullUtil
+		su := 100 * spec.UtilizationFrac(sb) / fullUtil
+		t.Rows = append(t.Rows, []string{itoa(ramp), f2(qb), f1(qu), f2(sb), f1(su)})
+	}
+	return t
+}

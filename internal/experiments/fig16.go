@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/metrics"
+	"e3/internal/model"
+	"e3/internal/scheduler"
+	"e3/internal/serving"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+func init() {
+	register("fig16", Fig16)
+	register("fig17", Fig17)
+}
+
+// Fig16 reproduces Figure 16: goodput under three easy:hard mixes. E3's
+// profiler/optimizer adapt — behaving like an EE model on easy traffic and
+// like the stock model on hard traffic.
+func Fig16() Table {
+	base := model.BERTBase()
+	van := ee.NewVanilla(base)
+	dee := ee.NewDeeBERT(base, 0.4)
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 16) }
+
+	t := Table{
+		ID:      "fig16",
+		Title:   "Workload adaptability: goodput per easy:hard mix (16xV100)",
+		Columns: []string{"mix", "batch", "BERT-BASE", "DeeBERT", "E3"},
+		Notes:   "paper: EE wins on easy mixes/small batches; stock wins on hard; E3 adapts and leads overall (up to 23% below stock at 20E/80H small batches)",
+	}
+	for _, mix := range []struct {
+		label string
+		easy  float64
+	}{{"80E/20H", 0.8}, {"50E/50H", 0.5}, {"20E/80H", 0.2}} {
+		dist := workload.Mix(mix.easy)
+		for _, b := range []int{1, 2, 4, 8} {
+			gVan := measureBaseline(mk, van, dist, b, defaultSLO, 161)
+			gDee := measureBaseline(mk, dee, dist, b, defaultSLO, 161)
+			gE3 := e3Goodput(mk, dee, dist, b, defaultSLO, 161, nil)
+			t.Rows = append(t.Rows, []string{mix.label, itoa(b), f0(gVan), f0(gDee), f0(gE3)})
+		}
+	}
+	return t
+}
+
+// latencyRun serves a fixed moderate load and returns the latency summary.
+func latencyRun(mk func() *cluster.Cluster, m *ee.EEModel, build func(*sim.Engine, *cluster.Cluster, *scheduler.Collector) scheduler.Runner, dist workload.Dist, batch int, rate float64, seed int64) metrics.Summary {
+	eng := sim.NewEngine()
+	clus := mk()
+	coll := scheduler.NewCollector(m.Base.NumLayers(), defaultSLO, 0)
+	r := build(eng, clus, coll)
+	gen := workload.NewGenerator(dist, seed)
+	serving.RunClosedLoop(eng, r, gen, batch, rate, 4.0, defaultSLO)
+	return coll.Lat.Summarize()
+}
+
+// Fig17 reproduces Figure 17: latency distributions (min, quartiles, max)
+// for the three systems at batch 8 on a 50:50 mix, homogeneous and
+// heterogeneous clusters.
+func Fig17() Table {
+	base := model.BERTBase()
+	van := ee.NewVanilla(base)
+	dee := ee.NewDeeBERT(base, 0.4)
+	dist := workload.Mix(0.5)
+	const batch = 8
+
+	t := Table{
+		ID:      "fig17",
+		Title:   "Latency distribution, batch 8, 50E/50H mix (ms)",
+		Columns: []string{"cluster", "system", "min", "p25", "median", "p75", "max"},
+		Notes:   "paper: E3 attains the lowest min/median/quartiles; only its tail (hard inputs) pays the split overhead, still within SLO",
+	}
+	clusters := []struct {
+		label string
+		mk    func() *cluster.Cluster
+	}{
+		{"homogeneous", func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 16) }},
+		{"heterogeneous", func() *cluster.Cluster { return cluster.PaperHeterogeneous() }},
+	}
+	for _, cl := range clusters {
+		// Operate near the weakest system's capacity (the paper serves the
+		// common sustainable load): baselines queue heavily there while E3,
+		// with far more headroom, stays lightly loaded.
+		rate := 0.9 * measureBaseline(cl.mk, dee, dist, batch, defaultSLO, 171)
+		if rate <= 0 {
+			rate = 500
+		}
+		rows := []struct {
+			label string
+			m     *ee.EEModel
+			build func(*sim.Engine, *cluster.Cluster, *scheduler.Collector) scheduler.Runner
+		}{
+			{"BERT-BASE", van, dataParallelBuilder(van)},
+			{"DeeBERT", dee, dataParallelBuilder(dee)},
+			{"E3", dee, pipelineBuilder(dee, cl.mk, dist, batch)},
+		}
+		for _, r := range rows {
+			s := latencyRun(cl.mk, r.m, r.build, dist, batch, rate, 171)
+			t.Rows = append(t.Rows, []string{cl.label, r.label, ms(s.Min), ms(s.P25), ms(s.Median), ms(s.P75), ms(s.Max)})
+		}
+	}
+	return t
+}
+
+func dataParallelBuilder(m *ee.EEModel) func(*sim.Engine, *cluster.Cluster, *scheduler.Collector) scheduler.Runner {
+	return func(eng *sim.Engine, clus *cluster.Cluster, coll *scheduler.Collector) scheduler.Runner {
+		devs := make([]int, clus.Size())
+		for i := range devs {
+			devs[i] = i
+		}
+		d, err := scheduler.NewDataParallel(eng, clus, m, devs, coll)
+		if err != nil {
+			panic(err)
+		}
+		return d
+	}
+}
+
+func pipelineBuilder(m *ee.EEModel, mk func() *cluster.Cluster, dist workload.Dist, batch int) func(*sim.Engine, *cluster.Cluster, *scheduler.Collector) scheduler.Runner {
+	plan, err := planE3(mk(), m, dist, batch, defaultSLO, nil)
+	return func(eng *sim.Engine, clus *cluster.Cluster, coll *scheduler.Collector) scheduler.Runner {
+		if err != nil {
+			panic(err)
+		}
+		p, perr := scheduler.NewPipeline(eng, clus, m, plan, coll)
+		if perr != nil {
+			panic(perr)
+		}
+		return p
+	}
+}

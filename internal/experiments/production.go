@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+)
+
+func init() { register("production", Production) }
+
+// Production reproduces the §2.4 narrative as a table: the production
+// service's four options for taming per-input compute cost. The 12-layer
+// model has the best accuracy but blows the budget; the 6-layer distilled
+// variant keeps accuracy but still exceeds it; the 3-layer variant meets
+// the budget at ~4% accuracy loss; and the 12-layer model with early
+// exits meets both — once E3 restores batching.
+func Production() Table {
+	const batch = 8
+	dist := mix80()
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 16) }
+	clusterCost := cluster.Homogeneous(gpu.V100, 16).CostPerSecond()
+
+	// Per-million-request dollar cost at each option's sustained goodput.
+	costPerM := func(goodput float64) float64 {
+		if goodput <= 0 {
+			return 0
+		}
+		return clusterCost / goodput * 1e6
+	}
+
+	// Accuracy story from §2.4: the 12L derivative is the reference; 6L
+	// met accuracy targets; 3L lost ~4%; EE on 12L stayed within 1%.
+	type option struct {
+		label    string
+		accuracy float64
+		m        *ee.EEModel
+		useE3    bool
+	}
+	options := []option{
+		{"12-layer (stock)", 92.7, ee.NewVanilla(model.BERTBase()), false},
+		{"6-layer (distill+prune)", 92.0, ee.NewVanilla(model.BERTCompressed6()), false},
+		{"3-layer (distill+prune)", 88.7, ee.NewVanilla(model.BERTCompressed3()), false},
+		{"12-layer + EE, naive batching", 91.9, ee.NewDeeBERT(model.BERTBase(), 0.4), false},
+		{"12-layer + EE, E3", 91.9, ee.NewDeeBERT(model.BERTBase(), 0.4), true},
+	}
+
+	t := Table{
+		ID:      "production",
+		Title:   "The §2.4 production story: per-input cost vs accuracy (16xV100, batch 8)",
+		Columns: []string{"option", "accuracy (%)", "goodput (req/s)", "$ per 1M requests"},
+		Notes:   "paper: compression alone either missed the compute budget (6L) or the accuracy bar (3L); EEs met both but needed E3 to batch",
+	}
+	for _, o := range options {
+		var g float64
+		if o.useE3 {
+			g = e3Goodput(mk, o.m, dist, batch, defaultSLO, 321, nil)
+		} else {
+			g = measureBaseline(mk, o.m, dist, batch, defaultSLO, 321)
+		}
+		t.Rows = append(t.Rows, []string{o.label, f1(o.accuracy), f0(g), f2(costPerM(g))})
+	}
+	return t
+}

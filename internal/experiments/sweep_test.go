@@ -1,0 +1,41 @@
+package experiments
+
+import "testing"
+
+// TestEveryExperimentRuns executes the entire registry once and checks the
+// structural invariants every table must satisfy: a title, columns, at
+// least one row, and row widths matching the header. It is the regression
+// net for the whole harness; skipped under -short.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full evaluation (~90s)")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != id {
+				t.Errorf("table ID %q != registry id %q", tab.ID, id)
+			}
+			if tab.Title == "" || len(tab.Columns) == 0 {
+				t.Error("missing title or columns")
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tab.Columns))
+				}
+				for j, cellVal := range row {
+					if cellVal == "" {
+						t.Errorf("row %d col %d empty", i, j)
+					}
+				}
+			}
+		})
+	}
+}

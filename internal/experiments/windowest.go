@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"e3/internal/ee"
+	"e3/internal/forecast"
+	"e3/internal/profile"
+	"e3/internal/workload"
+)
+
+// windowEstimator drives the forecast.Estimator with synthetic scheduling
+// windows, for the Figure 21 experiment and the forecaster ablation.
+type windowEstimator struct {
+	m   *ee.EEModel
+	est *forecast.Estimator
+}
+
+func newWindowEstimator(m *ee.EEModel) *windowEstimator {
+	return &windowEstimator{m: m, est: forecast.NewEstimator(m.Base.NumLayers())}
+}
+
+// observeWindow simulates one window's traffic at the given easy fraction
+// and feeds the measured profile to the estimator, returning it.
+func (w *windowEstimator) observeWindow(easyFrac float64, seed int64) profile.Batch {
+	obs := profile.FromDist(w.m, workload.Mix(easyFrac), 12000, seed)
+	w.est.Observe(obs)
+	return obs
+}
+
+// predict forecasts the next window's profile.
+func (w *windowEstimator) predict() profile.Batch { return w.est.Predict() }

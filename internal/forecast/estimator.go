@@ -1,0 +1,103 @@
+package forecast
+
+import (
+	"e3/internal/profile"
+)
+
+// Method selects the forecasting algorithm.
+type Method int
+
+// Forecasting methods. Persistence exists as the ablation baseline
+// (predict-last-value); ARIMA is E3's default (§3.1).
+const (
+	MethodARIMA Method = iota
+	MethodPersistence
+)
+
+// Estimator is E3's online batch-profile estimator. The workload is cut
+// into fixed scheduling windows (2 minutes in the paper); at each window
+// boundary the scheduler Observes the window's measured survival profile,
+// and Predict forecasts the next window's profile — one ARIMA series per
+// layer, clamped to a valid monotone profile so mispredictions can never
+// produce an impossible plan (the paper's "safety checks").
+type Estimator struct {
+	L       int
+	Method  Method
+	P, D, Q int
+	// MaxHistory bounds the sliding window of retained observations.
+	MaxHistory int
+
+	histories [][]float64 // per layer (0-based k-1), survival series
+}
+
+// NewEstimator builds an estimator for an L-layer model with the default
+// ARIMA(1,1,0) orders — an autoregression on window-to-window differences,
+// which tracks drifting exit rates and stays numerically stable on the
+// short histories a 2-minute window produces.
+func NewEstimator(l int) *Estimator {
+	e := &Estimator{L: l, Method: MethodARIMA, P: 1, D: 1, Q: 0, MaxHistory: 64}
+	e.histories = make([][]float64, l)
+	return e
+}
+
+// Observe appends one window's measured survival profile.
+func (e *Estimator) Observe(p profile.Batch) {
+	for k := 1; k <= e.L; k++ {
+		h := append(e.histories[k-1], p.At(k))
+		if len(h) > e.MaxHistory {
+			h = h[len(h)-e.MaxHistory:]
+		}
+		e.histories[k-1] = h
+	}
+}
+
+// Observations reports how many windows have been observed.
+func (e *Estimator) Observations() int {
+	if e.L == 0 {
+		return 0
+	}
+	return len(e.histories[0])
+}
+
+// Predict forecasts the next window's survival profile. With no history it
+// returns an all-survive profile (conservative: plans like a non-EE
+// model); with short history it falls back to persistence.
+func (e *Estimator) Predict() profile.Batch {
+	surv := make([]float64, e.L)
+	for k := 0; k < e.L; k++ {
+		surv[k] = e.predictLayer(e.histories[k])
+	}
+	return profile.NewBatch(surv)
+}
+
+func (e *Estimator) predictLayer(h []float64) float64 {
+	if len(h) == 0 {
+		return 1
+	}
+	last := h[len(h)-1]
+	if e.Method == MethodPersistence || len(h) < e.P+e.D+e.Q+4 {
+		return last
+	}
+	m, err := FitARIMA(h, e.P, e.D, e.Q)
+	if err != nil {
+		return last
+	}
+	pred := m.Forecast(1)[0]
+	// Safety clamps (§3.1): survival fractions live in [0,1], and exit
+	// behaviour moves slowly between 2-minute windows, so a forecast far
+	// from the last observation is a bad fit, not a real shift — bound it
+	// to ±0.15 of the last value.
+	if pred > last+0.15 {
+		pred = last + 0.15
+	}
+	if pred < last-0.15 {
+		pred = last - 0.15
+	}
+	if pred < 0 {
+		pred = 0
+	}
+	if pred > 1 {
+		pred = 1
+	}
+	return pred
+}

@@ -1,0 +1,127 @@
+package forecast
+
+import (
+	"math"
+)
+
+// Order selection: pick ARIMA(p,d,q) by corrected AIC over a small grid.
+// The estimator's fixed (1,1,0) default is right for slow-moving exit
+// rates; SelectOrder exists for workloads with richer dynamics (and for
+// the curious operator via tests/tools).
+
+// OrderResult reports the selected orders and their score.
+type OrderResult struct {
+	P, D, Q int
+	AICc    float64
+	Model   *ARIMA
+}
+
+// aicc computes the corrected Akaike criterion for a fitted model against
+// the series it was fitted on: n·ln(RSS/n) + 2k·n/(n−k−1).
+func aicc(m *ARIMA, series []float64) float64 {
+	w := append([]float64(nil), series...)
+	for i := 0; i < m.D; i++ {
+		w = diff(w)
+	}
+	start := m.P
+	if m.Q > start {
+		start = m.Q
+	}
+	resid := make([]float64, len(w))
+	rss := 0.0
+	n := 0
+	for t := start; t < len(w); t++ {
+		pred := m.C
+		for j := 0; j < m.P; j++ {
+			pred += m.Phi[j] * w[t-1-j]
+		}
+		for j := 0; j < m.Q; j++ {
+			pred += m.Theta[j] * resid[t-1-j]
+		}
+		resid[t] = w[t] - pred
+		rss += resid[t] * resid[t]
+		n++
+	}
+	if n < 3 {
+		return math.Inf(1)
+	}
+	k := float64(m.P + m.Q + 1)
+	if float64(n)-k-1 <= 0 {
+		return math.Inf(1)
+	}
+	if rss <= 0 {
+		rss = 1e-18
+	}
+	return float64(n)*math.Log(rss/float64(n)) + 2*k*float64(n)/(float64(n)-k-1)
+}
+
+// chooseD picks the differencing order by the variance-minimization
+// heuristic: difference while it makes the series meaningfully calmer.
+// (AICc values are not comparable across differencing levels, so d is
+// fixed before the p/q grid search — standard auto-ARIMA practice.)
+func chooseD(series []float64, maxD int) int {
+	variance := func(s []float64) float64 {
+		if len(s) < 2 {
+			return math.Inf(1)
+		}
+		mean := 0.0
+		for _, v := range s {
+			mean += v
+		}
+		mean /= float64(len(s))
+		sum := 0.0
+		for _, v := range s {
+			d := v - mean
+			sum += d * d
+		}
+		return sum / float64(len(s))
+	}
+	d := 0
+	cur := append([]float64(nil), series...)
+	curVar := variance(cur)
+	for d < maxD {
+		next := diff(cur)
+		nextVar := variance(next)
+		// Require a decisive win to difference: a stationary AR series
+		// also shrinks somewhat under differencing (2(1-phi) of the
+		// variance), so only a near-collapse indicates a real trend.
+		if nextVar >= curVar*0.1 {
+			break
+		}
+		cur, curVar = next, nextVar
+		d++
+	}
+	return d
+}
+
+// SelectOrder picks d by the variance heuristic, then fits the grid
+// p∈[0,maxP], q∈[0,maxQ] (excluding the degenerate all-zero model) and
+// returns the AICc-best fit.
+func SelectOrder(series []float64, maxP, maxD, maxQ int) (OrderResult, error) {
+	d := chooseD(series, maxD)
+	best := OrderResult{AICc: math.Inf(1)}
+	var lastErr error
+	for p := 0; p <= maxP; p++ {
+		for q := 0; q <= maxQ; q++ {
+			if p == 0 && q == 0 {
+				continue
+			}
+			m, err := FitARIMA(series, p, d, q)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			score := aicc(m, series)
+			if score < best.AICc {
+				best = OrderResult{P: p, D: d, Q: q, AICc: score, Model: m}
+			}
+		}
+	}
+	if best.Model == nil {
+		if lastErr == nil {
+			lastErr = ErrTooShort
+		}
+		return best, lastErr
+	}
+	return best, nil
+}

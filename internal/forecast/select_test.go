@@ -1,0 +1,78 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSelectOrderPrefersARForARData(t *testing.T) {
+	series := ar1Series(0.75, 0.5, 400, 0.1, 21)
+	res, err := SelectOrder(series, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 1 {
+		t.Errorf("AR(1) data selected p=%d", res.P)
+	}
+	if res.D != 0 {
+		t.Errorf("stationary data selected d=%d", res.D)
+	}
+	// The selected model must forecast sanely.
+	f := res.Model.Forecast(3)
+	for _, v := range f {
+		if math.IsNaN(v) || math.Abs(v) > 100 {
+			t.Fatalf("selected model forecasts %v", f)
+		}
+	}
+}
+
+func TestSelectOrderPrefersDifferencingForTrend(t *testing.T) {
+	series := make([]float64, 200)
+	rng := rand.New(rand.NewSource(22))
+	for i := range series {
+		series[i] = 0.5*float64(i) + rng.NormFloat64()*0.2
+	}
+	res, err := SelectOrder(series, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.D != 1 {
+		t.Errorf("trending data selected d=%d, want 1", res.D)
+	}
+	// Forecast must continue the trend.
+	f := res.Model.Forecast(2)
+	if f[0] < series[len(series)-1] {
+		t.Errorf("trend forecast %v below last value %v", f[0], series[len(series)-1])
+	}
+}
+
+func TestSelectOrderShortSeries(t *testing.T) {
+	if _, err := SelectOrder([]float64{1, 2}, 2, 1, 1); err == nil {
+		t.Error("short series accepted")
+	}
+}
+
+func TestSelectOrderBeatsFixedOnMA(t *testing.T) {
+	// MA(1)-heavy data: the grid should include q=1 and score it at least
+	// as well as a pure AR(1).
+	rng := rand.New(rand.NewSource(23))
+	n := 500
+	e := make([]float64, n)
+	y := make([]float64, n)
+	for i := 1; i < n; i++ {
+		e[i] = rng.NormFloat64() * 0.3
+		y[i] = e[i] + 0.8*e[i-1]
+	}
+	res, err := SelectOrder(y, 2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := FitARIMA(y, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AICc > aicc(ar, y) {
+		t.Errorf("selected (%d,%d,%d) AICc %v worse than plain AR(1) %v", res.P, res.D, res.Q, res.AICc, aicc(ar, y))
+	}
+}

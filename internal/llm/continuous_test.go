@@ -1,0 +1,83 @@
+package llm
+
+import (
+	"math"
+	"testing"
+
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/workload"
+)
+
+func TestContinuousCompletesEverything(t *testing.T) {
+	m := ee.NewVanilla(model.T5Decoder(18))
+	reqs := GenRequests(40, UniformLen{Min: 3, Max: 30}, workload.WMT(), 1)
+	stats := RunContinuous(m, reqs, 8, gpu.Get(gpu.A6000))
+	if stats.Completed != 40 {
+		t.Fatalf("completed %d of 40", stats.Completed)
+	}
+	if stats.Elapsed <= 0 || stats.Iterations <= 0 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+	if stats.Occupancy <= 0 || stats.Occupancy > 1 {
+		t.Fatalf("occupancy %v outside (0,1]", stats.Occupancy)
+	}
+}
+
+func TestContinuousBeatsStaticOnVariableLengths(t *testing.T) {
+	// Orca's result: with variable output lengths, refilling slots beats
+	// padding to the longest request.
+	m := ee.NewVanilla(model.T5Decoder(18))
+	spec := gpu.Get(gpu.A6000)
+	lengths := UniformLen{Min: 3, Max: 30}
+	dist := workload.WMT()
+
+	gStatic := GoodputStatic(m, lengths, dist, 16, 1, spec, 24, 2)
+	gCont := GoodputContinuous(m, lengths, dist, 16, 1, 384, spec, 2)
+	if gCont <= gStatic*1.15 {
+		t.Errorf("continuous %v not well above static %v", gCont, gStatic)
+	}
+}
+
+func TestContinuousMatchesStaticOnFixedLengths(t *testing.T) {
+	// With identical lengths there is nothing to refill: throughputs agree
+	// within the tail effect of the final draining batches.
+	m := ee.NewVanilla(model.T5Decoder(18))
+	spec := gpu.Get(gpu.A6000)
+	gStatic := GoodputStatic(m, FixedLen(20), workload.WMT(), 8, 1, spec, 24, 3)
+	gCont := GoodputContinuous(m, FixedLen(20), workload.WMT(), 8, 1, 192, spec, 3)
+	if math.Abs(gCont-gStatic)/gStatic > 0.1 {
+		t.Errorf("continuous %v vs static %v differ by >10%% on fixed lengths", gCont, gStatic)
+	}
+}
+
+func TestContinuousDoesNotFixEEShrinkage(t *testing.T) {
+	// The paper's point: iterative scheduling is orthogonal to E3 — the
+	// batch still shrinks *within* an iteration for an EE model, so
+	// CALM-with-Orca keeps paying per-ramp overheads that vanilla does not.
+	spec := gpu.Get(gpu.A6000)
+	lengths := UniformLen{Min: 3, Max: 30}
+	dist := workload.WMT()
+	vanilla := GoodputContinuous(ee.NewVanilla(model.T5Decoder(18)), lengths, dist, 16, 1, 384, spec, 4)
+	calm := GoodputContinuous(ee.NewCALM(model.T5Decoder(18), 0.25), lengths, dist, 16, 1, 384, spec, 4)
+	if calm >= vanilla {
+		t.Errorf("continuous batching alone should not rescue CALM at batch 16: calm %v vs vanilla %v", calm, vanilla)
+	}
+}
+
+func TestContinuousSlotClamp(t *testing.T) {
+	m := ee.NewVanilla(model.T5Decoder(18))
+	reqs := GenRequests(4, FixedLen(5), workload.WMT(), 5)
+	stats := RunContinuous(m, reqs, 0, gpu.Get(gpu.A6000)) // clamps to 1
+	if stats.Completed != 4 {
+		t.Fatalf("completed %d of 4 with slot clamp", stats.Completed)
+	}
+}
+
+func TestGoodputContinuousEmpty(t *testing.T) {
+	m := ee.NewVanilla(model.T5Decoder(18))
+	if g := GoodputContinuous(m, FixedLen(5), workload.WMT(), 4, 1, 0, gpu.Get(gpu.A6000), 6); g != 0 {
+		t.Errorf("zero requests gave goodput %v", g)
+	}
+}

@@ -1,0 +1,223 @@
+// Package metrics collects serving statistics: request latencies, goodput,
+// GPU utilization, and dollar cost. All aggregation is exact (samples are
+// retained) because experiment populations are modest; quantiles therefore
+// match the paper's box-plot semantics precisely.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LatencyRecorder accumulates per-request completion latencies (seconds).
+// The zero value is ready to use.
+type LatencyRecorder struct {
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one latency sample. Negative values are clamped to zero:
+// they can only arise from floating-point jitter at batch boundaries.
+func (r *LatencyRecorder) Observe(lat float64) {
+	if lat < 0 {
+		lat = 0
+	}
+	r.samples = append(r.samples, lat)
+	r.sorted = false
+}
+
+// Count reports the number of samples observed.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+func (r *LatencyRecorder) ensureSorted() {
+	if !r.sorted {
+		sort.Float64s(r.samples)
+		r.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank
+// interpolation. It returns 0 for an empty recorder.
+func (r *LatencyRecorder) Quantile(q float64) float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSorted()
+	if q <= 0 {
+		return r.samples[0]
+	}
+	if q >= 1 {
+		return r.samples[len(r.samples)-1]
+	}
+	pos := q * float64(len(r.samples)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return r.samples[lo]
+	}
+	frac := pos - float64(lo)
+	return r.samples[lo]*(1-frac) + r.samples[hi]*frac
+}
+
+// Min returns the smallest sample (0 if empty).
+func (r *LatencyRecorder) Min() float64 { return r.Quantile(0) }
+
+// Max returns the largest sample (0 if empty).
+func (r *LatencyRecorder) Max() float64 { return r.Quantile(1) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (r *LatencyRecorder) Mean() float64 {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / float64(len(r.samples))
+}
+
+// Summary is a five-number latency summary plus the mean, in seconds.
+type Summary struct {
+	Min, P25, Median, P75, Max, Mean float64
+	Count                            int
+}
+
+// Summarize computes the five-number summary of the recorded latencies.
+func (r *LatencyRecorder) Summarize() Summary {
+	return Summary{
+		Min:    r.Quantile(0),
+		P25:    r.Quantile(0.25),
+		Median: r.Quantile(0.5),
+		P75:    r.Quantile(0.75),
+		Max:    r.Quantile(1),
+		Mean:   r.Mean(),
+		Count:  r.Count(),
+	}
+}
+
+// String renders the summary in milliseconds for human-readable tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("min=%.1fms p25=%.1fms med=%.1fms p75=%.1fms max=%.1fms (n=%d)",
+		s.Min*1e3, s.P25*1e3, s.Median*1e3, s.P75*1e3, s.Max*1e3, s.Count)
+}
+
+// GoodputMeter tracks served/dropped samples over a virtual-time horizon.
+type GoodputMeter struct {
+	Served  int // completed within SLO
+	Dropped int // dropped by admission control or missed SLO
+	start   float64
+	end     float64
+}
+
+// NewGoodputMeter starts a meter at virtual time start.
+func NewGoodputMeter(start float64) *GoodputMeter {
+	return &GoodputMeter{start: start, end: start}
+}
+
+// ServeOK records n samples completing within SLO at virtual time t.
+func (g *GoodputMeter) ServeOK(n int, t float64) {
+	g.Served += n
+	if t > g.end {
+		g.end = t
+	}
+}
+
+// Drop records n samples dropped or SLO-violated at virtual time t.
+func (g *GoodputMeter) Drop(n int, t float64) {
+	g.Dropped += n
+	if t > g.end {
+		g.end = t
+	}
+}
+
+// CloseAt extends the measurement horizon to t (used when the run ends at a
+// fixed wall-clock boundary rather than with the last completion).
+func (g *GoodputMeter) CloseAt(t float64) {
+	if t > g.end {
+		g.end = t
+	}
+}
+
+// Goodput reports served samples per second of elapsed virtual time.
+func (g *GoodputMeter) Goodput() float64 {
+	d := g.end - g.start
+	if d <= 0 {
+		return 0
+	}
+	return float64(g.Served) / d
+}
+
+// DropRate reports the fraction of offered samples that were dropped.
+func (g *GoodputMeter) DropRate() float64 {
+	total := g.Served + g.Dropped
+	if total == 0 {
+		return 0
+	}
+	return float64(g.Dropped) / float64(total)
+}
+
+// UtilizationTracker integrates busy time per resource so experiments can
+// report average GPU utilization over a horizon.
+type UtilizationTracker struct {
+	busy  map[string]float64
+	since float64
+}
+
+// NewUtilizationTracker starts tracking at virtual time start.
+func NewUtilizationTracker(start float64) *UtilizationTracker {
+	return &UtilizationTracker{busy: make(map[string]float64), since: start}
+}
+
+// AddBusy credits d seconds of busy time to resource name.
+func (u *UtilizationTracker) AddBusy(name string, d float64) {
+	if d < 0 {
+		d = 0
+	}
+	u.busy[name] += d
+}
+
+// Utilization reports mean busy fraction across all tracked resources over
+// [start, end]. Resources that never reported busy time count as idle only
+// if they were registered via Register.
+func (u *UtilizationTracker) Utilization(end float64) float64 {
+	horizon := end - u.since
+	if horizon <= 0 || len(u.busy) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range u.busy {
+		frac := b / horizon
+		if frac > 1 {
+			frac = 1
+		}
+		sum += frac
+	}
+	return sum / float64(len(u.busy))
+}
+
+// Register ensures a resource appears in the denominator even if always idle.
+func (u *UtilizationTracker) Register(name string) {
+	if _, ok := u.busy[name]; !ok {
+		u.busy[name] = 0
+	}
+}
+
+// PerResource returns each resource's busy fraction over [start, end].
+func (u *UtilizationTracker) PerResource(end float64) map[string]float64 {
+	horizon := end - u.since
+	out := make(map[string]float64, len(u.busy))
+	for name, b := range u.busy {
+		if horizon <= 0 {
+			out[name] = 0
+			continue
+		}
+		frac := b / horizon
+		if frac > 1 {
+			frac = 1
+		}
+		out[name] = frac
+	}
+	return out
+}

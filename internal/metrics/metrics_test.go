@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyQuantiles(t *testing.T) {
+	var r LatencyRecorder
+	for i := 1; i <= 100; i++ {
+		r.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.75, 75.25},
+	}
+	for _, c := range cases {
+		if got := r.Quantile(c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestLatencyEmpty(t *testing.T) {
+	var r LatencyRecorder
+	if r.Quantile(0.5) != 0 || r.Mean() != 0 || r.Count() != 0 {
+		t.Error("empty recorder should report zeros")
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	var r LatencyRecorder
+	r.Observe(-1)
+	if r.Min() != 0 {
+		t.Errorf("negative latency not clamped: min=%v", r.Min())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var r LatencyRecorder
+	for _, v := range []float64{0.010, 0.020, 0.030, 0.040} {
+		r.Observe(v)
+	}
+	s := r.Summarize()
+	if s.Min != 0.010 || s.Max != 0.040 || s.Count != 4 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Mean-0.025) > 1e-12 {
+		t.Errorf("mean = %v, want 0.025", s.Mean)
+	}
+}
+
+func TestGoodputMeter(t *testing.T) {
+	g := NewGoodputMeter(0)
+	g.ServeOK(100, 5)
+	g.ServeOK(100, 10)
+	if got := g.Goodput(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("goodput = %v, want 20", got)
+	}
+	g.Drop(50, 10)
+	if got := g.DropRate(); math.Abs(got-0.2) > 1e-9 {
+		t.Errorf("drop rate = %v, want 0.2", got)
+	}
+	g.CloseAt(20)
+	if got := g.Goodput(); math.Abs(got-10) > 1e-9 {
+		t.Errorf("goodput after CloseAt = %v, want 10", got)
+	}
+}
+
+func TestGoodputEmpty(t *testing.T) {
+	g := NewGoodputMeter(3)
+	if g.Goodput() != 0 || g.DropRate() != 0 {
+		t.Error("fresh meter should report zeros")
+	}
+}
+
+func TestUtilizationTracker(t *testing.T) {
+	u := NewUtilizationTracker(0)
+	u.Register("gpu0")
+	u.Register("gpu1")
+	u.AddBusy("gpu0", 5)
+	got := u.Utilization(10)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.25", got)
+	}
+	per := u.PerResource(10)
+	if per["gpu0"] != 0.5 || per["gpu1"] != 0 {
+		t.Errorf("per-resource = %v", per)
+	}
+}
+
+func TestUtilizationClamped(t *testing.T) {
+	u := NewUtilizationTracker(0)
+	u.AddBusy("gpu0", 100)
+	if got := u.Utilization(10); got != 1 {
+		t.Errorf("utilization = %v, want clamped to 1", got)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by [min, max].
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r LatencyRecorder
+		for _, v := range raw {
+			r.Observe(float64(v))
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := r.Quantile(q)
+			if v < prev || v < r.Min() || v > r.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

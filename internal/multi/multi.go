@@ -1,0 +1,254 @@
+// Package multi serves several early-exit models from one shared cluster —
+// the multi-tenant shape of the paper's production infrastructure ("of
+// several services it supports...", §2.4). A Fleet partitions devices
+// across tenants by solving each tenant's minimal allocation for its
+// offered load (optimizer.MinimizeGPUs semantics) and granting leftover
+// capacity to the most-constrained tenant, then runs one E3 pipeline per
+// tenant on disjoint devices.
+package multi
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/optimizer"
+	"e3/internal/profile"
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// Tenant is one model deployment sharing the cluster.
+type Tenant struct {
+	Name  string
+	Model *ee.EEModel
+	// Dist is the tenant's workload (used to profile exits).
+	Dist workload.Dist
+	// Rate is the offered load the allocation must sustain (samples/s).
+	Rate float64
+	// SLO and Batch follow the usual E3 meanings.
+	SLO   float64
+	Batch int
+}
+
+// Allocation is the outcome for one tenant.
+type Allocation struct {
+	Tenant  string
+	Plan    optimizer.Plan
+	Devices []int // indices into the shared cluster
+}
+
+// Fleet is a planned multi-tenant deployment.
+type Fleet struct {
+	eng    *sim.Engine
+	clus   *cluster.Cluster
+	allocs []Allocation
+	pipes  map[string]*scheduler.Pipeline
+	colls  map[string]*scheduler.Collector
+}
+
+// Plan partitions the cluster across tenants. Tenants are served in
+// descending rate-demand order; each receives the minimal device set
+// sustaining its rate, drawn from the remaining inventory. Leftover
+// devices go to the tenant with the least headroom. It fails if any
+// tenant cannot be satisfied.
+func Plan(clus *cluster.Cluster, tenants []Tenant) ([]Allocation, error) {
+	if len(tenants) == 0 {
+		return nil, errors.New("multi: no tenants")
+	}
+	names := make(map[string]bool)
+	for _, t := range tenants {
+		if t.Name == "" {
+			return nil, errors.New("multi: tenant with empty name")
+		}
+		if names[t.Name] {
+			return nil, fmt.Errorf("multi: duplicate tenant %q", t.Name)
+		}
+		names[t.Name] = true
+	}
+
+	// Hardest demands first so they get first pick of the inventory.
+	order := make([]Tenant, len(tenants))
+	copy(order, tenants)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Rate > order[j].Rate })
+
+	remaining := clus.Counts()
+	var allocs []Allocation
+	for _, t := range order {
+		sub := clusterFromCounts(remaining, clus)
+		prof := profile.FromDist(t.Model, t.Dist, 8000, 1)
+		cfg := optimizer.Config{
+			Model: t.Model, Profile: prof, Batch: t.Batch, Cluster: sub,
+			SLO: t.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		}
+		plan, err := optimizer.MinimizeGPUs(cfg, t.Rate)
+		if err != nil {
+			return nil, fmt.Errorf("multi: tenant %q: %w", t.Name, err)
+		}
+		for _, s := range plan.Splits {
+			remaining[s.Kind] -= s.Replicas
+		}
+		allocs = append(allocs, Allocation{Tenant: t.Name, Plan: plan})
+	}
+
+	// Grant leftovers to the tenant with the least headroom (plan goodput
+	// closest to its demanded rate), by replanning it on its devices plus
+	// everything left.
+	if total(remaining) > 0 {
+		worst, worstHeadroom := -1, 0.0
+		for i, a := range allocs {
+			head := a.Plan.Goodput / rateOf(order, a.Tenant)
+			if worst == -1 || head < worstHeadroom {
+				worst, worstHeadroom = i, head
+			}
+		}
+		t := tenantOf(order, allocs[worst].Tenant)
+		pool := make(map[gpu.Kind]int, len(remaining))
+		for k, n := range remaining {
+			pool[k] = n
+		}
+		for _, s := range allocs[worst].Plan.Splits {
+			pool[s.Kind] += s.Replicas
+		}
+		sub := clusterFromCounts(pool, clus)
+		prof := profile.FromDist(t.Model, t.Dist, 8000, 1)
+		cfg := optimizer.Config{
+			Model: t.Model, Profile: prof, Batch: t.Batch, Cluster: sub,
+			SLO: t.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		}
+		if plan, err := optimizer.MaximizeGoodput(cfg); err == nil && plan.Goodput > allocs[worst].Plan.Goodput {
+			allocs[worst].Plan = plan
+		}
+	}
+
+	// Pin concrete devices, disjointly, in allocation order.
+	used := make(map[int]bool)
+	for i := range allocs {
+		devs, err := pinDevices(clus, allocs[i].Plan, used)
+		if err != nil {
+			return nil, fmt.Errorf("multi: pinning %q: %w", allocs[i].Tenant, err)
+		}
+		allocs[i].Devices = devs
+	}
+	return allocs, nil
+}
+
+// rateOf finds a tenant's demanded rate.
+func rateOf(ts []Tenant, name string) float64 {
+	for _, t := range ts {
+		if t.Name == name {
+			return t.Rate
+		}
+	}
+	return 1
+}
+
+func tenantOf(ts []Tenant, name string) Tenant {
+	for _, t := range ts {
+		if t.Name == name {
+			return t
+		}
+	}
+	return Tenant{}
+}
+
+func total(counts map[gpu.Kind]int) int {
+	n := 0
+	for _, c := range counts {
+		n += c
+	}
+	return n
+}
+
+// clusterFromCounts materializes a sub-cluster with the given inventory,
+// inheriting the parent topology.
+func clusterFromCounts(counts map[gpu.Kind]int, parent *cluster.Cluster) *cluster.Cluster {
+	sub := cluster.New(counts, 2)
+	sub.Topology = parent.Topology
+	return sub
+}
+
+// pinDevices picks concrete unused device indices per split kind.
+func pinDevices(clus *cluster.Cluster, plan optimizer.Plan, used map[int]bool) ([]int, error) {
+	var out []int
+	for _, s := range plan.Splits {
+		need := s.Replicas
+		for _, idx := range clus.OfKind(s.Kind) {
+			if need == 0 {
+				break
+			}
+			if used[idx] {
+				continue
+			}
+			used[idx] = true
+			out = append(out, idx)
+			need--
+		}
+		if need > 0 {
+			return nil, fmt.Errorf("short %d %s devices", need, s.Kind)
+		}
+	}
+	return out, nil
+}
+
+// Deploy binds allocations to pipelines on one engine.
+func Deploy(eng *sim.Engine, clus *cluster.Cluster, tenants []Tenant, allocs []Allocation) (*Fleet, error) {
+	f := &Fleet{
+		eng: eng, clus: clus, allocs: allocs,
+		pipes: make(map[string]*scheduler.Pipeline),
+		colls: make(map[string]*scheduler.Collector),
+	}
+	used := make(map[int]bool)
+	for _, a := range allocs {
+		t := tenantOf(tenants, a.Tenant)
+		if t.Name == "" {
+			return nil, fmt.Errorf("multi: allocation for unknown tenant %q", a.Tenant)
+		}
+		// Build a view restricted to this tenant's devices so pipelines
+		// cannot double-book. Devices keep their identity via the subset
+		// construction below.
+		sub := &cluster.Cluster{Topology: clus.Topology}
+		for _, idx := range a.Devices {
+			if used[idx] {
+				return nil, fmt.Errorf("multi: device %d double-booked", idx)
+			}
+			used[idx] = true
+			sub.Devices = append(sub.Devices, clus.Devices[idx])
+		}
+		coll := scheduler.NewCollector(t.Model.Base.NumLayers(), t.SLO, eng.Now())
+		pipe, err := scheduler.NewPipeline(eng, sub, t.Model, a.Plan, coll)
+		if err != nil {
+			return nil, fmt.Errorf("multi: tenant %q: %w", a.Tenant, err)
+		}
+		f.pipes[a.Tenant] = pipe
+		f.colls[a.Tenant] = coll
+	}
+	return f, nil
+}
+
+// Ingest routes a batch to a tenant's pipeline.
+func (f *Fleet) Ingest(tenant string, batch []workload.Sample) error {
+	p, ok := f.pipes[tenant]
+	if !ok {
+		return fmt.Errorf("multi: unknown tenant %q", tenant)
+	}
+	p.Ingest(batch)
+	return nil
+}
+
+// Collector exposes a tenant's stats.
+func (f *Fleet) Collector(tenant string) *scheduler.Collector { return f.colls[tenant] }
+
+// FlushAll drains every tenant's merge queues.
+func (f *Fleet) FlushAll() {
+	for _, p := range f.pipes {
+		p.FlushAll()
+	}
+}
+
+// Allocations returns the planned partitioning.
+func (f *Fleet) Allocations() []Allocation { return f.allocs }

@@ -1,0 +1,33 @@
+package optimizer
+
+import (
+	"testing"
+
+	"e3/internal/cluster"
+	"e3/internal/gpu"
+)
+
+// BenchmarkSolveHomogeneous measures one full plan search on 16 V100s —
+// Figure 20's homogeneous column as a proper Go benchmark.
+func BenchmarkSolveHomogeneous(b *testing.B) {
+	cfg := bertConfig(8, 0.8, cluster.Homogeneous(gpu.V100, 16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximizeGoodput(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveHeterogeneous measures the 46-GPU mixed-cluster search —
+// Figure 20's heterogeneous column.
+func BenchmarkSolveHeterogeneous(b *testing.B) {
+	cfg := bertConfig(8, 0.8, cluster.PaperEvaluation())
+	cfg.MaxSplits = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MaximizeGoodput(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,593 @@
+// Package optimizer implements E3's planning optimization (§3.2, Fig 6):
+// choose where to cut an EE-DNN into splits, which GPU kind runs each
+// split, and how many replicas each split gets, so that merged survivor
+// batches keep every split running at the full input batch size.
+//
+// The search enumerates split boundaries over the model's active ramps
+// (candidates ranked by predicted exit mass) and, per partition, assigns
+// one GPU kind per split (the paper's constraint: replicas of a split
+// share a kind) and allocates replicas greedily to the bottleneck stage —
+// which solves the max-min rate allocation the recursive DP describes,
+// with pipelining composing stages by max() and non-pipelined execution by
+// sum(). SLO (minus slack) bounds the end-to-end path; cost- and
+// GPU-minimizing variants serve the §5.3 experiments.
+package optimizer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/exec"
+	"e3/internal/gpu"
+	"e3/internal/profile"
+)
+
+// Config is one planning problem.
+type Config struct {
+	Model   *ee.EEModel
+	Profile profile.Batch
+	// Batch is B0, the constant batch size every split instance runs.
+	Batch   int
+	Cluster *cluster.Cluster
+	// SLO is the end-to-end latency bound (seconds); SlackFrac reserves
+	// headroom (the paper uses 20%).
+	SLO       float64
+	SlackFrac float64
+
+	// Pipelining composes stage times by max() (§3.2.2); disabling it is
+	// the ablation that charges the sum.
+	Pipelining bool
+	// ModelParallel false forces the §5.8.7 ablation: splits execute
+	// serially on each GPU with a cluster-wide barrier and unhidden
+	// communication between stages.
+	ModelParallel bool
+	// DisableInteriorRamps applies the §3.4 exit-wrapper: only split
+	// boundaries keep their ramps, saving interior ramp-head kernels.
+	DisableInteriorRamps bool
+
+	// MaxSplits bounds the partition search (default 3).
+	MaxSplits int
+	// MinExitFrac prunes boundary candidates with less predicted exit
+	// mass (default 0.02).
+	MinExitFrac float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxSplits == 0 {
+		out.MaxSplits = 3
+	}
+	if out.MinExitFrac == 0 {
+		out.MinExitFrac = 0.02
+	}
+	if out.SlackFrac == 0 {
+		out.SlackFrac = 0.2
+	}
+	return out
+}
+
+func (c *Config) validate() error {
+	if c.Model == nil || c.Cluster == nil {
+		return errors.New("optimizer: nil model or cluster")
+	}
+	if c.Batch < 1 {
+		return fmt.Errorf("optimizer: batch %d < 1", c.Batch)
+	}
+	if c.Profile.L != c.Model.Base.NumLayers() {
+		return fmt.Errorf("optimizer: profile over %d layers, model has %d",
+			c.Profile.L, c.Model.Base.NumLayers())
+	}
+	if c.SLO <= 0 {
+		return errors.New("optimizer: non-positive SLO")
+	}
+	return nil
+}
+
+// Split is one planned stage.
+type Split struct {
+	From, To int // 1-based inclusive layer range
+	Kind     gpu.Kind
+	Replicas int
+	// StageTime is the planned busy time of one instance per batch.
+	StageTime float64
+	// CommTime is the planned transfer time into the *next* split (0 for
+	// the last split).
+	CommTime float64
+	// Survival is the predicted fraction of fresh samples entering this
+	// split.
+	Survival float64
+}
+
+// Plan is the optimizer's output.
+type Plan struct {
+	Splits []Split
+	// Goodput is the planned sustainable fresh-sample rate (samples/s).
+	Goodput float64
+	// CycleTime is the pipeline bottleneck stage interval.
+	CycleTime float64
+	// Latency is the planned worst-case end-to-end latency.
+	Latency float64
+	// Batch is B0.
+	Batch int
+	// GPUs is the total device count used; CostPerSec its rental price.
+	GPUs       int
+	CostPerSec float64
+	// DisabledInteriorRamps mirrors the config flag so executors build
+	// the right model.
+	DisabledInteriorRamps bool
+	Pipelined             bool
+	ModelParallel         bool
+}
+
+// String renders a plan compactly.
+func (p Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan{B0=%d goodput=%.0f/s cycle=%.2fms lat=%.1fms gpus=%d $%.5f/s;",
+		p.Batch, p.Goodput, p.CycleTime*1e3, p.Latency*1e3, p.GPUs, p.CostPerSec)
+	for _, s := range p.Splits {
+		fmt.Fprintf(&b, " [%d-%d]x%d@%s", s.From, s.To, s.Replicas, s.Kind)
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ExecModel returns the EE model the executors should run for this plan:
+// the original, or a clone with interior ramps disabled when the plan was
+// built with the exit-wrapper.
+func (p Plan) ExecModel(m *ee.EEModel) *ee.EEModel {
+	if !p.DisabledInteriorRamps {
+		return m
+	}
+	boundary := make(map[int]bool)
+	for _, s := range p.Splits {
+		boundary[s.To] = true
+	}
+	clone := m.Clone()
+	for _, r := range clone.Ramps() {
+		if !boundary[r] {
+			// Ignore error: r comes from Ramps() so it must exist.
+			_ = clone.Disable(r)
+		} else {
+			_ = clone.Enable(r)
+		}
+	}
+	return clone
+}
+
+// MaximizeGoodput plans the highest sustainable rate on the full cluster.
+func MaximizeGoodput(cfg Config) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Plan{}, err
+	}
+	best := Plan{}
+	found := false
+	forEachCandidate(cfg, func(p Plan) {
+		if p.Goodput > best.Goodput {
+			best = p
+			found = true
+		}
+	})
+	if !found {
+		return Plan{}, fmt.Errorf("optimizer: no feasible plan for batch %d under SLO %.0fms",
+			cfg.Batch, cfg.SLO*1e3)
+	}
+	return best, nil
+}
+
+// MinimizeGPUs plans the smallest device count sustaining target goodput
+// (Figure 14). Ties break toward higher goodput.
+func MinimizeGPUs(cfg Config, target float64) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Plan{}, err
+	}
+	best := Plan{GPUs: math.MaxInt}
+	found := false
+	forEachCandidateMinimal(cfg, target, func(p Plan) {
+		if p.Goodput < target {
+			return
+		}
+		if p.GPUs < best.GPUs || (p.GPUs == best.GPUs && p.Goodput > best.Goodput) {
+			best = p
+			found = true
+		}
+	})
+	if !found {
+		return Plan{}, fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d", target, cfg.Batch)
+	}
+	return best, nil
+}
+
+// MinimizeCost plans the cheapest GPU mix sustaining target goodput
+// (Figure 15).
+func MinimizeCost(cfg Config, target float64) (Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Plan{}, err
+	}
+	best := Plan{CostPerSec: math.Inf(1)}
+	found := false
+	forEachCandidateMinimal(cfg, target, func(p Plan) {
+		if p.Goodput < target {
+			return
+		}
+		if p.CostPerSec < best.CostPerSec || (p.CostPerSec == best.CostPerSec && p.Goodput > best.Goodput) {
+			best = p
+			found = true
+		}
+	})
+	if !found {
+		return Plan{}, fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d within cost search", target, cfg.Batch)
+	}
+	return best, nil
+}
+
+// boundaryCandidates returns active ramp positions worth cutting at,
+// ranked by predicted exit mass and capped to keep the search tractable.
+func boundaryCandidates(cfg Config) []int {
+	type cand struct {
+		pos  int
+		mass float64
+	}
+	var cands []cand
+	for _, r := range cfg.Model.ActiveRamps() {
+		mass := cfg.Profile.At(r) - cfg.Profile.After(r)
+		if mass >= cfg.MinExitFrac {
+			cands = append(cands, cand{r, mass})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].mass != cands[j].mass {
+			return cands[i].mass > cands[j].mass
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	const maxCands = 10
+	if len(cands) > maxCands {
+		cands = cands[:maxCands]
+	}
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.pos
+	}
+	sort.Ints(out)
+	return out
+}
+
+// forEachCandidate evaluates every partition × kind assignment at maximum
+// replica allocation and reports feasible plans.
+func forEachCandidate(cfg Config, emit func(Plan)) {
+	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
+		if p, ok := evaluateMaxRate(cfg, bounds, kinds); ok {
+			emit(p)
+		}
+	})
+}
+
+// forEachCandidateMinimal evaluates partitions with the *minimal* replica
+// counts achieving the target rate.
+func forEachCandidateMinimal(cfg Config, target float64, emit func(Plan)) {
+	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
+		if p, ok := evaluateMinAlloc(cfg, bounds, kinds, target); ok {
+			emit(p)
+		}
+	})
+}
+
+// enumerate walks all partitions (≤ MaxSplits splits with boundaries drawn
+// from the candidates) crossed with per-split GPU-kind assignments present
+// in the cluster.
+func enumerate(cfg Config, visit func(bounds []int, kinds []gpu.Kind)) {
+	cands := boundaryCandidates(cfg)
+	var kindsAvail []gpu.Kind
+	for _, k := range gpu.Kinds() {
+		if len(cfg.Cluster.OfKind(k)) > 0 {
+			kindsAvail = append(kindsAvail, k)
+		}
+	}
+	if len(kindsAvail) == 0 {
+		return
+	}
+
+	var walkKinds func(bounds []int, kinds []gpu.Kind)
+	walkKinds = func(bounds []int, kinds []gpu.Kind) {
+		n := len(bounds) + 1
+		if len(kinds) == n {
+			visit(bounds, kinds)
+			return
+		}
+		for _, k := range kindsAvail {
+			walkKinds(bounds, append(kinds, k))
+		}
+	}
+
+	var walkBounds func(start int, bounds []int)
+	walkBounds = func(start int, bounds []int) {
+		walkKinds(bounds, nil)
+		if len(bounds)+1 >= cfg.MaxSplits {
+			return
+		}
+		for i := start; i < len(cands); i++ {
+			walkBounds(i+1, append(bounds, cands[i]))
+		}
+	}
+	walkBounds(0, nil)
+}
+
+// SplitFits reports whether layers [from, to] of the model fit in one
+// device of the given kind at the given batch: weights plus an activation
+// working set (double-buffered input/output per sample) within 90% of
+// device memory. It is the memory-feasibility constraint the planner
+// applies to every (split, kind) assignment — an 8B-parameter model's
+// full weight footprint does not fit a 12 GB K80, but its splits can.
+func SplitFits(m *ee.EEModel, from, to, batch int, kind gpu.Kind) bool {
+	spec := gpu.Get(kind)
+	weights := 0.0
+	maxAct := 0.0
+	for k := from; k <= to; k++ {
+		l := m.Base.Layers[k-1]
+		weights += l.WeightBytes
+		if l.ActBytes > maxAct {
+			maxAct = l.ActBytes
+		}
+	}
+	// LM-head ramps keep the vocabulary projection resident.
+	if m.LMHeadRamp {
+		weights += 2 * float64(m.Base.Hidden) * float64(m.Base.Vocab)
+	}
+	working := 4 * maxAct * float64(batch) // in/out double buffering
+	return weights+working <= spec.MemGB*1e9*0.9
+}
+
+// partitionFits checks every split of a partition against its kind.
+func partitionFits(cfg Config, splits []Split) bool {
+	for _, s := range splits {
+		if !SplitFits(cfg.Model, s.From, s.To, cfg.Batch, s.Kind) {
+			return false
+		}
+	}
+	return true
+}
+
+// stageGeometry computes per-split times, comm and survival for a
+// partition under the config's execution mode.
+func stageGeometry(cfg Config, bounds []int, kinds []gpu.Kind) []Split {
+	L := cfg.Model.Base.NumLayers()
+	m := cfg.Model
+	if cfg.DisableInteriorRamps {
+		m = (&Plan{Splits: splitsFromBounds(bounds, L), DisabledInteriorRamps: true}).ExecModel(cfg.Model)
+	}
+	froms := []int{1}
+	for _, b := range bounds {
+		froms = append(froms, b+1)
+	}
+	splits := make([]Split, len(froms))
+	for i, from := range froms {
+		to := L
+		if i < len(bounds) {
+			to = bounds[i]
+		}
+		spec := gpu.Get(kinds[i])
+		sIn := cfg.Profile.At(from)
+		sOut := 0.0
+		if to < L {
+			sOut = cfg.Profile.After(to)
+		}
+		exitFrac := 0.0
+		if sIn > 0 {
+			exitFrac = (sIn - sOut) / sIn
+		}
+		st := exec.SplitTime(m, from, to, cfg.Batch, exitFrac, spec)
+		// The boundary handoff (sync + reform) overlaps the next batch in
+		// pipelined execution, so it counts toward latency via CommTime
+		// rather than stage time.
+		comm := exec.SplitHandoff(cfg.Batch, exitFrac)
+		if to < L {
+			// Conservative: plan with the slowest interconnect; the
+			// runtime can only do better with local placement.
+			link := cfg.Cluster.Topology.WorstCase()
+			comm += link.TransferTime(cfg.Model.Base.Layers[to-1].ActBytes * float64(cfg.Batch))
+		}
+		splits[i] = Split{From: from, To: to, Kind: kinds[i], StageTime: st, CommTime: comm, Survival: sIn}
+	}
+	return splits
+}
+
+func splitsFromBounds(bounds []int, l int) []Split {
+	from := 1
+	var out []Split
+	for _, b := range bounds {
+		out = append(out, Split{From: from, To: b})
+		from = b + 1
+	}
+	return append(out, Split{From: from, To: l})
+}
+
+// workPerSample is the GPU-seconds one fresh sample costs at split i,
+// accounting for the fraction of samples that still reach it.
+func workPerSample(s Split, batch int, pipelined bool) float64 {
+	t := s.StageTime
+	if pipelined {
+		// A stage can overlap compute with its inbound transfer, but its
+		// effective interval cannot beat the transfer itself.
+		if s.CommTime > t {
+			t = s.CommTime
+		}
+	}
+	return s.Survival * t / float64(batch)
+}
+
+// evaluateMaxRate allocates every available GPU greedily to the bottleneck
+// split and reports the resulting plan.
+func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, bool) {
+	splits := stageGeometry(cfg, bounds, kinds)
+	if !partitionFits(cfg, splits) {
+		return Plan{}, false
+	}
+	if !cfg.ModelParallel {
+		return evaluateSerial(cfg, splits)
+	}
+	avail := cfg.Cluster.Counts()
+
+	// Start with one replica each; infeasible if kinds are short.
+	for i := range splits {
+		if avail[splits[i].Kind] == 0 {
+			return Plan{}, false
+		}
+		avail[splits[i].Kind]--
+		splits[i].Replicas = 1
+	}
+	rate := func(i int) float64 {
+		w := workPerSample(splits[i], cfg.Batch, cfg.Pipelining)
+		if w <= 0 {
+			return math.Inf(1)
+		}
+		return float64(splits[i].Replicas) / w
+	}
+	for {
+		// Find the bottleneck stage that can still grow.
+		bi, brate := -1, math.Inf(1)
+		for i := range splits {
+			r := rate(i)
+			if r < brate {
+				brate, bi = r, i
+			}
+		}
+		if bi < 0 || avail[splits[bi].Kind] == 0 {
+			break
+		}
+		avail[splits[bi].Kind]--
+		splits[bi].Replicas++
+	}
+	return finishPlan(cfg, splits)
+}
+
+// evaluateMinAlloc gives each split exactly the replicas needed for the
+// target rate.
+func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64) (Plan, bool) {
+	splits := stageGeometry(cfg, bounds, kinds)
+	if !partitionFits(cfg, splits) {
+		return Plan{}, false
+	}
+	if !cfg.ModelParallel {
+		p, ok := evaluateSerial(cfg, splits)
+		return p, ok && p.Goodput >= target
+	}
+	avail := cfg.Cluster.Counts()
+	for i := range splits {
+		w := workPerSample(splits[i], cfg.Batch, cfg.Pipelining)
+		need := int(math.Ceil(target * w))
+		if need < 1 {
+			need = 1
+		}
+		if avail[splits[i].Kind] < need {
+			return Plan{}, false
+		}
+		avail[splits[i].Kind] -= need
+		splits[i].Replicas = need
+	}
+	return finishPlan(cfg, splits)
+}
+
+// evaluateSerial models the §5.8.7 ablation: the cluster executes split
+// phases globally — every GPU runs split 1 on a fresh batch, a barrier
+// and survivor exchange follow, then split 2 runs over the (fewer) merged
+// batches while the remaining GPUs idle, and so on. Each phase costs its
+// full stage time regardless of how many GPUs still have work, which is
+// exactly the utilization loss model parallelism removes.
+func evaluateSerial(cfg Config, splits []Split) (Plan, bool) {
+	g := cfg.Cluster.Size()
+	if g == 0 {
+		return Plan{}, false
+	}
+	const barrier = 1e-3 // global synchronization per stage transition
+	round := 0.0
+	for i := range splits {
+		splits[i].Replicas = g
+		round += splits[i].StageTime
+		if i < len(splits)-1 {
+			round += splits[i].CommTime + barrier
+		}
+	}
+	if round <= 0 {
+		return Plan{}, false
+	}
+	goodput := float64(g) * float64(cfg.Batch) / round
+	lat := round
+	if lat > cfg.SLO*(1-cfg.SlackFrac) {
+		return Plan{}, false
+	}
+	cost := 0.0
+	for _, d := range cfg.Cluster.Devices {
+		cost += d.Spec().CostPerSecond()
+	}
+	return Plan{
+		Splits: splits, Goodput: goodput, CycleTime: round, Latency: lat,
+		Batch: cfg.Batch, GPUs: g, CostPerSec: cost,
+		DisabledInteriorRamps: cfg.DisableInteriorRamps,
+		Pipelined:             false, ModelParallel: false,
+	}, true
+}
+
+// finishPlan derives rate, latency, and cost, and applies the SLO check.
+func finishPlan(cfg Config, splits []Split) (Plan, bool) {
+	goodput := math.Inf(1)
+	cycle := 0.0
+	latency := 0.0
+	gpus := 0
+	cost := 0.0
+	for _, s := range splits {
+		w := workPerSample(s, cfg.Batch, cfg.Pipelining)
+		if w > 0 {
+			if r := float64(s.Replicas) / w; r < goodput {
+				goodput = r
+			}
+		}
+		interval := s.StageTime
+		if cfg.Pipelining && s.CommTime > interval {
+			interval = s.CommTime
+		}
+		if interval > cycle {
+			cycle = interval
+		}
+		latency += s.StageTime + s.CommTime
+		gpus += s.Replicas
+		cost += float64(s.Replicas) * gpu.Get(s.Kind).CostPerSecond()
+	}
+	if !cfg.Pipelining {
+		// Without pipelining a batch occupies the whole chain; each
+		// instance's effective interval is the full path.
+		goodput = 0.0
+		path := latency
+		for _, s := range splits {
+			r := float64(s.Replicas) * float64(cfg.Batch) / (s.Survival * path)
+			if goodput == 0 || r < goodput {
+				goodput = r
+			}
+		}
+		cycle = path
+	}
+	// One bottleneck cycle of queueing slack at merge points; a
+	// single-split plan has no merges.
+	if len(splits) > 1 {
+		latency += cycle
+	}
+	if latency > cfg.SLO*(1-cfg.SlackFrac) {
+		return Plan{}, false
+	}
+	if math.IsInf(goodput, 1) {
+		return Plan{}, false
+	}
+	return Plan{
+		Splits: splits, Goodput: goodput, CycleTime: cycle, Latency: latency,
+		Batch: cfg.Batch, GPUs: gpus, CostPerSec: cost,
+		DisabledInteriorRamps: cfg.DisableInteriorRamps,
+		Pipelined:             cfg.Pipelining, ModelParallel: true,
+	}, true
+}

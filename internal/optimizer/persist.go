@@ -1,0 +1,118 @@
+package optimizer
+
+// Plan persistence: plans serialize to JSON so deployments can be pinned,
+// diffed, audited, and re-loaded without re-running the search — the ops
+// counterpart of the paper's "transparent reconfiguration" hook (§4).
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"e3/internal/gpu"
+)
+
+// planJSON is the stable wire format.
+type planJSON struct {
+	Version               int         `json:"version"`
+	Batch                 int         `json:"batch"`
+	Goodput               float64     `json:"goodput_per_sec"`
+	CycleTime             float64     `json:"cycle_time_sec"`
+	Latency               float64     `json:"latency_sec"`
+	GPUs                  int         `json:"gpus"`
+	CostPerSec            float64     `json:"cost_per_sec_usd"`
+	DisabledInteriorRamps bool        `json:"disabled_interior_ramps"`
+	Pipelined             bool        `json:"pipelined"`
+	ModelParallel         bool        `json:"model_parallel"`
+	Splits                []splitJSON `json:"splits"`
+}
+
+type splitJSON struct {
+	From      int     `json:"from"`
+	To        int     `json:"to"`
+	Kind      string  `json:"gpu"`
+	Replicas  int     `json:"replicas"`
+	StageTime float64 `json:"stage_time_sec"`
+	CommTime  float64 `json:"comm_time_sec"`
+	Survival  float64 `json:"survival"`
+}
+
+const planFormatVersion = 1
+
+// MarshalJSON implements json.Marshaler for Plan.
+func (p Plan) MarshalJSON() ([]byte, error) {
+	out := planJSON{
+		Version:               planFormatVersion,
+		Batch:                 p.Batch,
+		Goodput:               p.Goodput,
+		CycleTime:             p.CycleTime,
+		Latency:               p.Latency,
+		GPUs:                  p.GPUs,
+		CostPerSec:            p.CostPerSec,
+		DisabledInteriorRamps: p.DisabledInteriorRamps,
+		Pipelined:             p.Pipelined,
+		ModelParallel:         p.ModelParallel,
+	}
+	for _, s := range p.Splits {
+		out.Splits = append(out.Splits, splitJSON{
+			From: s.From, To: s.To, Kind: string(s.Kind), Replicas: s.Replicas,
+			StageTime: s.StageTime, CommTime: s.CommTime, Survival: s.Survival,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Plan, validating the
+// structural invariants a loaded plan must satisfy before execution.
+func (p *Plan) UnmarshalJSON(data []byte) error {
+	var in planJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("optimizer: decoding plan: %w", err)
+	}
+	if in.Version != planFormatVersion {
+		return fmt.Errorf("optimizer: unsupported plan format version %d", in.Version)
+	}
+	if in.Batch < 1 {
+		return fmt.Errorf("optimizer: plan batch %d < 1", in.Batch)
+	}
+	if len(in.Splits) == 0 {
+		return fmt.Errorf("optimizer: plan has no splits")
+	}
+	out := Plan{
+		Batch:                 in.Batch,
+		Goodput:               in.Goodput,
+		CycleTime:             in.CycleTime,
+		Latency:               in.Latency,
+		GPUs:                  in.GPUs,
+		CostPerSec:            in.CostPerSec,
+		DisabledInteriorRamps: in.DisabledInteriorRamps,
+		Pipelined:             in.Pipelined,
+		ModelParallel:         in.ModelParallel,
+	}
+	want := 1
+	for _, s := range in.Splits {
+		if s.From != want || s.To < s.From {
+			return fmt.Errorf("optimizer: plan splits not contiguous at [%d,%d] (want from=%d)", s.From, s.To, want)
+		}
+		if s.Replicas < 1 {
+			return fmt.Errorf("optimizer: split [%d,%d] has %d replicas", s.From, s.To, s.Replicas)
+		}
+		// Validate the GPU kind against the catalogue.
+		found := false
+		for _, k := range gpu.Kinds() {
+			if string(k) == s.Kind {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("optimizer: split [%d,%d] uses unknown GPU kind %q", s.From, s.To, s.Kind)
+		}
+		out.Splits = append(out.Splits, Split{
+			From: s.From, To: s.To, Kind: gpu.Kind(s.Kind), Replicas: s.Replicas,
+			StageTime: s.StageTime, CommTime: s.CommTime, Survival: s.Survival,
+		})
+		want = s.To + 1
+	}
+	*p = out
+	return nil
+}

@@ -1,0 +1,80 @@
+package optimizer
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"e3/internal/cluster"
+	"e3/internal/gpu"
+)
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	orig, err := MaximizeGoodput(bertConfig(8, 0.8, cluster.Homogeneous(gpu.V100, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Plan
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Batch != orig.Batch || back.Goodput != orig.Goodput ||
+		back.GPUs != orig.GPUs || len(back.Splits) != len(orig.Splits) {
+		t.Fatalf("round trip changed plan:\n%v\n%v", orig, back)
+	}
+	for i := range orig.Splits {
+		if back.Splits[i] != orig.Splits[i] {
+			t.Fatalf("split %d changed: %+v vs %+v", i, orig.Splits[i], back.Splits[i])
+		}
+	}
+}
+
+func TestPlanJSONValidation(t *testing.T) {
+	valid, err := MaximizeGoodput(bertConfig(8, 0.8, cluster.Homogeneous(gpu.V100, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := json.Marshal(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func(string) string
+	}{
+		{"bad version", func(s string) string { return strings.Replace(s, `"version":1`, `"version":9`, 1) }},
+		{"bad batch", func(s string) string { return strings.Replace(s, `"batch":8`, `"batch":0`, 1) }},
+		{"bad kind", func(s string) string { return strings.ReplaceAll(s, `"gpu":"V100"`, `"gpu":"H100"`) }},
+		{"bad from", func(s string) string { return strings.Replace(s, `"from":1`, `"from":2`, 1) }},
+		{"no splits", func(s string) string { return `{"version":1,"batch":8,"splits":[]}` }},
+		{"not json", func(s string) string { return "{" }},
+	}
+	for _, c := range cases {
+		var p Plan
+		if err := json.Unmarshal([]byte(c.corrupt(string(base))), &p); err == nil {
+			t.Errorf("%s: corrupted plan accepted", c.name)
+		}
+	}
+}
+
+func TestPlanJSONStableFields(t *testing.T) {
+	p, err := MaximizeGoodput(bertConfig(4, 0.8, cluster.Homogeneous(gpu.V100, 8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, field := range []string{`"version"`, `"batch"`, `"goodput_per_sec"`, `"splits"`, `"gpu"`, `"replicas"`} {
+		if !strings.Contains(s, field) {
+			t.Errorf("serialized plan missing field %s: %s", field, s)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package scheduler executes plans on the simulated cluster: E3's
+// heterogeneity-aware model-parallel pipeline (§3.3), the data-parallel
+// runner the baselines use, and the phase-synchronized serial runner of
+// the model-parallelism ablation (§5.8.7). All runners share a Collector
+// that accounts goodput, latency, utilization, and the observed exit
+// histogram that feeds E3's online profiler.
+package scheduler
+
+import (
+	"e3/internal/metrics"
+	"e3/internal/profile"
+	"e3/internal/workload"
+)
+
+// Runner is anything that accepts formed batches and serves them.
+type Runner interface {
+	// Ingest hands a formed batch to the runner at the current virtual
+	// time. The runner owns the samples from then on.
+	Ingest(batch []workload.Sample)
+	// Collector exposes the runner's statistics sink.
+	Collector() *Collector
+}
+
+// Collector accumulates serving statistics.
+type Collector struct {
+	SLO float64
+
+	Lat  metrics.LatencyRecorder
+	Good *metrics.GoodputMeter
+	Util *metrics.UtilizationTracker
+
+	// Violations counts samples completed after their deadline; Dropped
+	// counts samples shed before execution.
+	Violations int
+	Dropped    int
+
+	// exitCounts[k] counts samples that exited after layer k (1-based).
+	exitCounts []int
+	layers     int
+
+	// Per-window counters for the overload detector (reset each window).
+	windowServed     int
+	windowViolations int
+}
+
+// NewCollector builds a collector for an L-layer model.
+func NewCollector(layers int, slo, start float64) *Collector {
+	return &Collector{
+		SLO:        slo,
+		Good:       metrics.NewGoodputMeter(start),
+		Util:       metrics.NewUtilizationTracker(start),
+		exitCounts: make([]int, layers+1),
+		layers:     layers,
+	}
+}
+
+// Complete records a sample finishing at virtual time `at` having exited
+// after the given layer.
+func (c *Collector) Complete(s workload.Sample, at float64, exitLayer int) {
+	c.Lat.Observe(at - s.Arrival)
+	if exitLayer >= 1 && exitLayer <= c.layers {
+		c.exitCounts[exitLayer]++
+	}
+	if at <= s.Deadline {
+		c.Good.ServeOK(1, at)
+		c.windowServed++
+	} else {
+		c.Violations++
+		c.Good.Drop(1, at)
+		c.windowViolations++
+	}
+}
+
+// Drop records a sample shed without execution (admission control).
+func (c *Collector) Drop(s workload.Sample, at float64) {
+	c.Dropped++
+	c.Good.Drop(1, at)
+	c.windowViolations++
+}
+
+// ObservedProfile reconstructs the survival profile from the exit
+// histogram — the measurement E3's estimator consumes each window (§3.1).
+func (c *Collector) ObservedProfile() profile.Batch {
+	total := 0
+	for _, n := range c.exitCounts {
+		total += n
+	}
+	surv := make([]float64, c.layers)
+	if total == 0 {
+		for k := range surv {
+			surv[k] = 1
+		}
+		return profile.NewBatch(surv)
+	}
+	alive := total
+	for k := 1; k <= c.layers; k++ {
+		surv[k-1] = float64(alive) / float64(total)
+		alive -= c.exitCounts[k]
+	}
+	return profile.NewBatch(surv)
+}
+
+// WindowBadFrac reports the fraction of this window's outcomes that were
+// violations or drops — the overload signal for buffer activation.
+func (c *Collector) WindowBadFrac() float64 {
+	total := c.windowServed + c.windowViolations
+	if total == 0 {
+		return 0
+	}
+	return float64(c.windowViolations) / float64(total)
+}
+
+// ResetWindow clears the exit histogram and window counters for the next
+// scheduling window while keeping cumulative serving metrics.
+func (c *Collector) ResetWindow() {
+	for i := range c.exitCounts {
+		c.exitCounts[i] = 0
+	}
+	c.windowServed = 0
+	c.windowViolations = 0
+}

@@ -1,0 +1,114 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/exec"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// DataParallel runs the whole model on every instance in eager mode —
+// how the vanilla and naive-EE baselines serve. Vanilla models simply have
+// no ramps; EE models shrink their batches mid-flight and pay per-ramp
+// synchronization (§2.3).
+type DataParallel struct {
+	eng       *sim.Engine
+	clus      *cluster.Cluster
+	model     *ee.EEModel
+	coll      *Collector
+	instances []*instance
+	rr        int
+	// ewmaBatch tracks recent per-batch service time for backlog-aware
+	// admission control.
+	ewmaBatch float64
+}
+
+// NewDataParallel builds a runner over the given device indices.
+func NewDataParallel(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, devices []int, coll *Collector) (*DataParallel, error) {
+	if len(devices) == 0 {
+		return nil, fmt.Errorf("scheduler: data-parallel runner needs at least one device")
+	}
+	d := &DataParallel{eng: eng, clus: clus, model: m, coll: coll}
+	for _, idx := range devices {
+		if idx < 0 || idx >= clus.Size() {
+			return nil, fmt.Errorf("scheduler: device index %d out of range", idx)
+		}
+		d.instances = append(d.instances, &instance{device: idx})
+		coll.Util.Register(clus.Devices[idx].ID)
+	}
+	return d, nil
+}
+
+// Collector implements Runner.
+func (d *DataParallel) Collector() *Collector { return d.coll }
+
+// Ingest implements Runner.
+func (d *DataParallel) Ingest(batch []workload.Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	var pick *instance
+	n := len(d.instances)
+	for i := 0; i < n; i++ {
+		inst := d.instances[(d.rr+i)%n]
+		if pick == nil || len(inst.queue) < len(pick.queue) {
+			pick = inst
+		}
+	}
+	d.rr++
+	pick.queue = append(pick.queue, batch)
+	if !pick.busy {
+		d.runNext(pick)
+	}
+}
+
+func (d *DataParallel) runNext(inst *instance) {
+	if len(inst.queue) == 0 {
+		inst.busy = false
+		return
+	}
+	inst.busy = true
+	batch := inst.queue[0]
+	inst.queue = inst.queue[1:]
+
+	dev := d.clus.Devices[inst.device]
+	L := d.model.Base.NumLayers()
+	res := exec.RunSegment(d.model, 1, L, batch, dev.Spec(), dev.Slowdown)
+	d.coll.Util.AddBusy(dev.ID, res.Duration)
+	if d.ewmaBatch == 0 {
+		d.ewmaBatch = res.Duration
+	} else {
+		d.ewmaBatch = 0.9*d.ewmaBatch + 0.1*res.Duration
+	}
+	for _, c := range res.Completions {
+		c := c
+		d.eng.After(c.Offset, func() {
+			d.coll.Complete(c.Sample, d.eng.Now(), c.ExitLayer)
+		})
+	}
+	d.eng.After(res.Duration, func() {
+		d.runNext(inst)
+	})
+}
+
+// QueueDepth reports total batches awaiting execution (for backlog-aware
+// admission control in the serving layer).
+func (d *DataParallel) QueueDepth() int {
+	n := 0
+	for _, inst := range d.instances {
+		n += len(inst.queue)
+		if inst.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// BacklogDelay estimates how long a batch dispatched now will wait before
+// execution starts, from the queued work and recent batch service times.
+func (d *DataParallel) BacklogDelay() float64 {
+	return float64(d.QueueDepth()) * d.ewmaBatch / float64(len(d.instances))
+}

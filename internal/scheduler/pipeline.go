@@ -1,0 +1,331 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/exec"
+	"e3/internal/optimizer"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// Pipeline executes an E3 plan: one stage per split, each with replicated
+// instances pinned to devices of the planned kind; survivor batches flow
+// to the next stage's merge queue where full batches are re-formed, and
+// every instance starts its next batch as soon as it finishes the current
+// one (pipelining, §3.2.2). Straggling instances are detected by comparing
+// observed to planned stage time and excluded from future dispatch (§3.3).
+type Pipeline struct {
+	eng   *sim.Engine
+	clus  *cluster.Cluster
+	model *ee.EEModel
+	plan  optimizer.Plan
+	coll  *Collector
+
+	stages []*stage
+	// MaxMergeWait bounds how long a survivor may sit in a merge queue
+	// before a partial batch is dispatched.
+	maxMergeWait float64
+	// stragglerFactor flags an instance whose batch ran this many times
+	// slower than planned.
+	stragglerFactor float64
+}
+
+type stage struct {
+	split     optimizer.Split
+	instances []*instance
+	merge     []pendingSample
+	flushArm  bool
+	rr        int
+	// downstream is the planned residual time from this stage's dispatch
+	// to completion (its own stage time plus everything after); the merge
+	// flush uses it to dispatch partial batches before deadlines burn.
+	downstream float64
+}
+
+type pendingSample struct {
+	s  workload.Sample
+	at float64
+}
+
+type instance struct {
+	device  int // index into cluster.Devices
+	busy    bool
+	queue   [][]workload.Sample
+	strikes int
+	// excluded instances receive no new work (§3.3 straggler handling).
+	excluded bool
+}
+
+// NewPipeline binds a plan to concrete devices. It fails if the cluster
+// cannot supply the planned replica counts per kind.
+func NewPipeline(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, coll *Collector) (*Pipeline, error) {
+	p := &Pipeline{
+		eng: eng, clus: clus, model: plan.ExecModel(m), plan: plan, coll: coll,
+		maxMergeWait:    plan.CycleTime,
+		stragglerFactor: 1.5,
+	}
+	if p.maxMergeWait <= 0 {
+		p.maxMergeWait = 0.010
+	}
+	used := make(map[int]bool)
+	for _, sp := range plan.Splits {
+		st := &stage{split: sp}
+		pool := clus.OfKind(sp.Kind)
+		for _, devIdx := range pool {
+			if len(st.instances) == sp.Replicas {
+				break
+			}
+			if used[devIdx] {
+				continue
+			}
+			used[devIdx] = true
+			st.instances = append(st.instances, &instance{device: devIdx})
+			coll.Util.Register(clus.Devices[devIdx].ID)
+		}
+		if len(st.instances) != sp.Replicas {
+			return nil, fmt.Errorf("scheduler: need %d %s devices for split [%d,%d], cluster has fewer free",
+				sp.Replicas, sp.Kind, sp.From, sp.To)
+		}
+		p.stages = append(p.stages, st)
+	}
+	// Residual path time per stage, back to front.
+	rest := 0.0
+	for i := len(p.stages) - 1; i >= 0; i-- {
+		rest += p.stages[i].split.StageTime + p.stages[i].split.CommTime
+		p.stages[i].downstream = rest
+	}
+	return p, nil
+}
+
+// Collector implements Runner.
+func (p *Pipeline) Collector() *Collector { return p.coll }
+
+// Plan returns the executing plan.
+func (p *Pipeline) Plan() optimizer.Plan { return p.plan }
+
+// Ingest implements Runner: a formed batch enters stage 0.
+func (p *Pipeline) Ingest(batch []workload.Sample) {
+	if len(batch) == 0 {
+		return
+	}
+	p.dispatch(0, batch)
+}
+
+// dispatch hands a batch to the least-loaded non-excluded instance of a
+// stage.
+func (p *Pipeline) dispatch(si int, batch []workload.Sample) {
+	st := p.stages[si]
+	var pick *instance
+	n := len(st.instances)
+	for i := 0; i < n; i++ {
+		inst := st.instances[(st.rr+i)%n]
+		if inst.excluded {
+			continue
+		}
+		if pick == nil || len(inst.queue) < len(pick.queue) {
+			pick = inst
+		}
+	}
+	if pick == nil {
+		// Every instance excluded: the baseline itself must be wrong.
+		// Fail open by clearing the stage's exclusions and retrying.
+		for _, inst := range st.instances {
+			inst.excluded = false
+			inst.strikes = 0
+		}
+		pick = st.instances[st.rr%n]
+	}
+	st.rr++
+	pick.queue = append(pick.queue, batch)
+	if !pick.busy {
+		p.runNext(si, pick)
+	}
+}
+
+// runNext starts the instance's next queued batch.
+func (p *Pipeline) runNext(si int, inst *instance) {
+	if len(inst.queue) == 0 {
+		inst.busy = false
+		return
+	}
+	inst.busy = true
+	batch := inst.queue[0]
+	inst.queue = inst.queue[1:]
+
+	st := p.stages[si]
+
+	// Shed stale work (Clockwork-style, §3.1): a backlogged sample that
+	// cannot meet its deadline even if it ran right now is dropped rather
+	// than computed late — overload drains at shed speed, not compute
+	// speed.
+	now := p.eng.Now()
+	viable := batch[:0]
+	for _, smp := range batch {
+		if smp.Deadline < now+st.downstream {
+			p.coll.Drop(smp, now)
+			continue
+		}
+		viable = append(viable, smp)
+	}
+	batch = viable
+	if len(batch) == 0 {
+		p.runNext(si, inst)
+		return
+	}
+
+	dev := p.clus.Devices[inst.device]
+	res := exec.RunSplit(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown)
+	p.coll.Util.AddBusy(dev.ID, res.Duration)
+
+	// Straggler detection (§3.3): compare against the planned time for
+	// this exact batch size — partial batches have high fixed costs, so
+	// linear scaling of the stage time would flag healthy devices.
+	planned := exec.SplitTime(p.model, st.split.From, st.split.To, len(batch), 0.5, dev.Spec())
+	if planned > 0 && res.Duration > p.stragglerFactor*planned {
+		inst.strikes++
+		if inst.strikes >= 2 {
+			inst.excluded = true
+		}
+	}
+
+	for _, c := range res.Completions {
+		c := c
+		p.eng.After(c.Offset, func() {
+			p.coll.Complete(c.Sample, p.eng.Now(), c.ExitLayer)
+		})
+	}
+	if len(res.Survivors) > 0 && si+1 < len(p.stages) {
+		next := p.stages[si+1]
+		target := next.instances[0].device
+		comm := p.clus.Link(inst.device, target).
+			TransferTime(p.model.Base.Layers[st.split.To-1].ActBytes * float64(len(res.Survivors)))
+		survivors := res.Survivors
+		p.eng.After(res.Duration+res.HandoffDelay+comm, func() {
+			p.receive(si+1, survivors)
+		})
+	}
+	// Pipelining: the instance frees at compute completion; handoff and
+	// transfer overlap the next batch.
+	p.eng.After(res.Duration, func() {
+		p.runNext(si, inst)
+	})
+}
+
+// receive merges survivors into a stage's queue and forms batches.
+func (p *Pipeline) receive(si int, survivors []workload.Sample) {
+	st := p.stages[si]
+	now := p.eng.Now()
+	for _, s := range survivors {
+		st.merge = append(st.merge, pendingSample{s: s, at: now})
+	}
+	p.drain(si)
+}
+
+// flushDeadline is the latest time the merge head may sit before a partial
+// batch must go: its SLA dispatch point or the age bound, whichever is
+// sooner.
+func (p *Pipeline) flushDeadline(si int, head pendingSample) float64 {
+	st := p.stages[si]
+	slaAt := head.s.Deadline - st.downstream*1.3
+	ageAt := head.at + p.maxMergeWait
+	if slaAt < ageAt {
+		return slaAt
+	}
+	return ageAt
+}
+
+// drain dispatches full batches and arms the partial-batch flush timer.
+func (p *Pipeline) drain(si int) {
+	st := p.stages[si]
+	b0 := p.plan.Batch
+	for len(st.merge) >= b0 {
+		batch := make([]workload.Sample, b0)
+		for i := 0; i < b0; i++ {
+			batch[i] = st.merge[i].s
+		}
+		st.merge = st.merge[b0:]
+		p.dispatch(si, batch)
+	}
+	if len(st.merge) > 0 && !st.flushArm {
+		st.flushArm = true
+		delay := p.flushDeadline(si, st.merge[0]) - p.eng.Now()
+		if delay < 0 {
+			delay = 0
+		}
+		p.eng.After(delay, func() {
+			st.flushArm = false
+			p.flush(si)
+		})
+	}
+}
+
+// flush dispatches a partial batch whose head can wait no longer.
+func (p *Pipeline) flush(si int) {
+	st := p.stages[si]
+	if len(st.merge) == 0 {
+		return
+	}
+	now := p.eng.Now()
+	if now+1e-12 < p.flushDeadline(si, st.merge[0]) {
+		// Head changed since arming; re-arm for the new head.
+		p.drain(si)
+		return
+	}
+	n := len(st.merge)
+	if n > p.plan.Batch {
+		n = p.plan.Batch
+	}
+	batch := make([]workload.Sample, n)
+	for i := 0; i < n; i++ {
+		batch[i] = st.merge[i].s
+	}
+	st.merge = st.merge[n:]
+	p.dispatch(si, batch)
+	p.drain(si)
+}
+
+// ExcludedInstances reports how many instances the straggler monitor has
+// taken out of rotation.
+func (p *Pipeline) ExcludedInstances() int {
+	n := 0
+	for _, st := range p.stages {
+		for _, inst := range st.instances {
+			if inst.excluded {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PendingMerge reports queued survivors awaiting batch formation (for
+// tests and drain-at-shutdown).
+func (p *Pipeline) PendingMerge() int {
+	n := 0
+	for _, st := range p.stages {
+		n += len(st.merge)
+	}
+	return n
+}
+
+// FlushAll force-dispatches every partial merge queue (end of run).
+func (p *Pipeline) FlushAll() {
+	for si := range p.stages {
+		st := p.stages[si]
+		for len(st.merge) > 0 {
+			n := len(st.merge)
+			if n > p.plan.Batch {
+				n = p.plan.Batch
+			}
+			batch := make([]workload.Sample, n)
+			for i := 0; i < n; i++ {
+				batch[i] = st.merge[i].s
+			}
+			st.merge = st.merge[n:]
+			p.dispatch(si, batch)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package serving is E3's end-to-end inference front door (§4): dynamic
+// batching over open-loop arrival traces, closed-loop drivers, the
+// sustained-goodput search the evaluation uses, and an HTTP/JSON API.
+package serving
+
+import (
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// Batcher implements the paper's dynamic batching: queue incoming requests
+// and dispatch when either the target batch size is reached or the queued
+// inputs would violate their SLA if not immediately scheduled. Requests
+// that cannot possibly be served in time are dropped (§3.1, as in
+// Clockwork).
+type Batcher struct {
+	eng    *sim.Engine
+	runner scheduler.Runner
+	// Batch is the target batch size.
+	Batch int
+	// EstService is the expected service time once dispatched; arrivals
+	// whose remaining slack is below it are dropped, and queued heads
+	// force dispatch when their slack runs down to it.
+	EstService float64
+	// SlackFrac reserves SLO headroom (paper: 20%).
+	SlackFrac float64
+
+	queue    []workload.Sample
+	flushArm bool
+}
+
+// NewBatcher wires a dynamic batcher in front of a runner.
+func NewBatcher(eng *sim.Engine, r scheduler.Runner, batch int, estService, slackFrac float64) *Batcher {
+	if batch < 1 {
+		batch = 1
+	}
+	return &Batcher{eng: eng, runner: r, Batch: batch, EstService: estService, SlackFrac: slackFrac}
+}
+
+// Arrive accepts one request at the current virtual time.
+func (b *Batcher) Arrive(s workload.Sample) {
+	now := b.eng.Now()
+	if b.deadlineHopeless(s, now) {
+		b.runner.Collector().Drop(s, now)
+		return
+	}
+	b.queue = append(b.queue, s)
+	if len(b.queue) >= b.Batch {
+		b.dispatch(b.Batch)
+		return
+	}
+	b.armFlush()
+}
+
+// backlogged runners report their expected queueing delay so admission
+// control can shed load the cluster cannot absorb in time (Clockwork-style
+// dropping, §3.1).
+type backlogged interface {
+	BacklogDelay() float64
+}
+
+// deadlineHopeless reports whether a sample can no longer meet its SLA
+// even if dispatched immediately, accounting for the runner's backlog.
+func (b *Batcher) deadlineHopeless(s workload.Sample, now float64) bool {
+	est := b.EstService
+	if bl, ok := b.runner.(backlogged); ok {
+		est += bl.BacklogDelay()
+	}
+	slack := (s.Deadline - now) * (1 - b.SlackFrac)
+	return slack < est
+}
+
+// dispatch sends the first n queued samples to the runner.
+func (b *Batcher) dispatch(n int) {
+	if n > len(b.queue) {
+		n = len(b.queue)
+	}
+	if n == 0 {
+		return
+	}
+	batch := make([]workload.Sample, n)
+	copy(batch, b.queue[:n])
+	b.queue = b.queue[n:]
+	b.runner.Ingest(batch)
+}
+
+// armFlush schedules the SLA-pressure check for the queue head.
+func (b *Batcher) armFlush() {
+	if b.flushArm || len(b.queue) == 0 {
+		return
+	}
+	b.flushArm = true
+	head := b.queue[0]
+	// Fire when the head's slack is about to run out.
+	fireAt := head.Deadline - b.EstService/(1-b.SlackFrac)
+	delay := fireAt - b.eng.Now()
+	if delay < 0 {
+		delay = 0
+	}
+	b.eng.After(delay, func() {
+		b.flushArm = false
+		b.flush()
+	})
+}
+
+// flush dispatches a partial batch under SLA pressure.
+func (b *Batcher) flush() {
+	now := b.eng.Now()
+	// Shed anything already hopeless, dispatch the rest if the head is
+	// under pressure.
+	kept := b.queue[:0]
+	for _, s := range b.queue {
+		if b.deadlineHopeless(s, now) {
+			b.runner.Collector().Drop(s, now)
+			continue
+		}
+		kept = append(kept, s)
+	}
+	b.queue = kept
+	if len(b.queue) == 0 {
+		return
+	}
+	head := b.queue[0]
+	slack := (head.Deadline - now) * (1 - b.SlackFrac)
+	if slack <= b.EstService*1.05 {
+		b.dispatch(b.Batch)
+	}
+	b.armFlush()
+}
+
+// Flush force-dispatches all queued samples (end of run).
+func (b *Batcher) Flush() {
+	for len(b.queue) > 0 {
+		b.dispatch(b.Batch)
+	}
+}
+
+// QueueLen reports the current queue depth.
+func (b *Batcher) QueueLen() int { return len(b.queue) }

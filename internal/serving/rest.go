@@ -1,0 +1,156 @@
+package serving
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"e3/internal/ee"
+	"e3/internal/optimizer"
+)
+
+// API serves E3 inference over HTTP/JSON, mirroring the TorchServe REST
+// front end the paper's implementation uses (§4). Inference requests carry
+// the input's difficulty (the simulation's stand-in for input content);
+// the response reports the exit decision and the plan-predicted latency.
+type API struct {
+	mu    sync.Mutex
+	model *ee.EEModel
+	plan  optimizer.Plan
+
+	served     int
+	exitCounts map[int]int
+}
+
+// NewAPI builds the handler set for a planned model.
+func NewAPI(m *ee.EEModel, plan optimizer.Plan) *API {
+	return &API{model: plan.ExecModel(m), plan: plan, exitCounts: make(map[int]int)}
+}
+
+// Handler returns the routed HTTP handler.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", a.handleHealth)
+	mux.HandleFunc("/v1/infer", a.handleInfer)
+	mux.HandleFunc("/v1/plan", a.handlePlan)
+	mux.HandleFunc("/v1/stats", a.handleStats)
+	return mux
+}
+
+func (a *API) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// InferRequest is the /v1/infer body.
+type InferRequest struct {
+	// Difficulty in [0,1] stands in for the input content; real
+	// deployments derive it from the model's own ramp confidences.
+	Difficulty float64 `json:"difficulty"`
+}
+
+// InferResponse reports the exit decision.
+type InferResponse struct {
+	ExitLayer          int     `json:"exit_layer"`
+	TotalLayers        int     `json:"total_layers"`
+	ExitedEarly        bool    `json:"exited_early"`
+	ServedBySplit      int     `json:"served_by_split"`
+	PredictedLatencyMS float64 `json:"predicted_latency_ms"`
+}
+
+func (a *API) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Difficulty < 0 || req.Difficulty > 1 {
+		http.Error(w, "difficulty must be in [0,1]", http.StatusBadRequest)
+		return
+	}
+	exit := a.model.ExitLayerFor(req.Difficulty)
+	lat := 0.0
+	splitIdx := 0
+	for i, s := range a.plan.Splits {
+		lat += s.StageTime
+		splitIdx = i
+		if exit <= s.To {
+			break
+		}
+		lat += s.CommTime
+	}
+	a.mu.Lock()
+	a.served++
+	a.exitCounts[exit]++
+	a.mu.Unlock()
+
+	writeJSON(w, InferResponse{
+		ExitLayer:          exit,
+		TotalLayers:        a.model.Base.NumLayers(),
+		ExitedEarly:        exit < a.model.Base.NumLayers(),
+		ServedBySplit:      splitIdx,
+		PredictedLatencyMS: lat * 1e3,
+	})
+}
+
+// PlanResponse summarizes the active plan.
+type PlanResponse struct {
+	Model     string      `json:"model"`
+	Batch     int         `json:"batch"`
+	GoodputPS float64     `json:"goodput_per_sec"`
+	LatencyMS float64     `json:"latency_ms"`
+	GPUs      int         `json:"gpus"`
+	CostPerS  float64     `json:"cost_per_sec_usd"`
+	Splits    []SplitJSON `json:"splits"`
+}
+
+// SplitJSON is one planned split.
+type SplitJSON struct {
+	From     int    `json:"from"`
+	To       int    `json:"to"`
+	Kind     string `json:"gpu"`
+	Replicas int    `json:"replicas"`
+}
+
+func (a *API) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	resp := PlanResponse{
+		Model:     a.model.Name,
+		Batch:     a.plan.Batch,
+		GoodputPS: a.plan.Goodput,
+		LatencyMS: a.plan.Latency * 1e3,
+		GPUs:      a.plan.GPUs,
+		CostPerS:  a.plan.CostPerSec,
+	}
+	for _, s := range a.plan.Splits {
+		resp.Splits = append(resp.Splits, SplitJSON{From: s.From, To: s.To, Kind: string(s.Kind), Replicas: s.Replicas})
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse reports live counters.
+type StatsResponse struct {
+	Served     int         `json:"served"`
+	ExitCounts map[int]int `json:"exit_counts"`
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	counts := make(map[int]int, len(a.exitCounts))
+	for k, v := range a.exitCounts {
+		counts[k] = v
+	}
+	writeJSON(w, StatsResponse{Served: a.served, ExitCounts: counts})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,93 @@
+package serving
+
+import (
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/trace"
+	"e3/internal/workload"
+)
+
+// Flusher is a runner-side hook to drain partial state at end of run.
+type Flusher interface{ FlushAll() }
+
+// RunOpenLoop replays an arrival trace through a dynamic batcher and runs
+// the simulation to completion. It returns the runner's collector for
+// inspection.
+func RunOpenLoop(eng *sim.Engine, r scheduler.Runner, b *Batcher, arr trace.Arrivals, gen *workload.Generator, slo float64) *scheduler.Collector {
+	for _, at := range arr {
+		at := at
+		eng.At(at, func() {
+			b.Arrive(gen.Next(eng.Now(), slo))
+		})
+	}
+	eng.SetEventLimit(50_000_000)
+	_ = eng.RunAll()
+	b.Flush()
+	if f, ok := r.(Flusher); ok {
+		f.FlushAll()
+	}
+	_ = eng.RunAll()
+	c := r.Collector()
+	c.Good.CloseAt(eng.Now())
+	return c
+}
+
+// RunClosedLoop feeds full batches at a fixed offered rate for a horizon
+// (closed-loop clients always have inputs waiting, §4). Samples carry the
+// SLO deadline so goodput accounting matches the paper's definition.
+func RunClosedLoop(eng *sim.Engine, r scheduler.Runner, gen *workload.Generator, batch int, rate, horizon, slo float64) *scheduler.Collector {
+	interval := float64(batch) / rate
+	for at := interval; at <= horizon; at += interval {
+		at := at
+		eng.At(at, func() {
+			r.Ingest(gen.Batch(batch, eng.Now(), slo))
+		})
+	}
+	eng.SetEventLimit(50_000_000)
+	_ = eng.RunAll()
+	if f, ok := r.(Flusher); ok {
+		f.FlushAll()
+	}
+	_ = eng.RunAll()
+	c := r.Collector()
+	c.Good.CloseAt(eng.Now())
+	return c
+}
+
+// BuildFn constructs a fresh engine + runner pair for one goodput probe.
+type BuildFn func() (*sim.Engine, scheduler.Runner)
+
+// MaxGoodput binary-searches the highest offered rate a system sustains
+// with at most tolFrac of samples dropped or violating SLO, probing each
+// candidate rate with a closed-loop run over the horizon. It returns the
+// achieved goodput at the best feasible rate (0 if even idle load fails).
+func MaxGoodput(build BuildFn, gen func() *workload.Generator, batch int, slo, horizon, upper, tolFrac float64) float64 {
+	probe := func(rate float64) (bool, float64) {
+		eng, r := build()
+		c := RunClosedLoop(eng, r, gen(), batch, rate, horizon, slo)
+		total := c.Good.Served + c.Violations + c.Dropped
+		if total == 0 {
+			return false, 0
+		}
+		bad := float64(c.Violations+c.Dropped) / float64(total)
+		return bad <= tolFrac, c.Good.Goodput()
+	}
+	lo, hi := 0.0, upper
+	best := 0.0
+	for i := 0; i < 12; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		ok, goodput := probe(mid)
+		if ok {
+			lo = mid
+			if goodput > best {
+				best = goodput
+			}
+		} else {
+			hi = mid
+		}
+	}
+	return best
+}

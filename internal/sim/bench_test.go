@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event dispatch rate — the floor
+// under every serving simulation in the repository.
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1e-6, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1e-6, tick)
+	if err := e.RunAll(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkEngineHeapChurn measures push+pop with a deep pending heap.
+func BenchmarkEngineHeapChurn(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < 10000; i++ {
+		e.At(float64(i), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1e4, func() {})
+		e.Step()
+	}
+}

@@ -1,0 +1,142 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All E3 experiments run on virtual time: an event heap ordered by
+// timestamp (ties broken by insertion sequence, so runs are fully
+// deterministic). Virtual time is expressed in seconds as float64, which
+// keeps latency/throughput math simple and avoids time.Duration overflow
+// for long simulated horizons.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation.
+type Time = float64
+
+// Event is a scheduled callback. Fn runs when the engine's clock reaches At.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the caller's
+// goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Processed counts events executed, for diagnostics and runaway guards.
+	processed uint64
+	// limit aborts Run after this many events (0 = no limit). It exists to
+	// turn infinite-loop bugs into errors instead of hangs.
+	limit uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit aborts Run with an error after n events (0 disables the
+// guard).
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it is always a model bug and silently clamping it would
+// corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		panic(fmt.Sprintf("sim: schedule at non-finite time %v", t))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d float64, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or the next event lies beyond
+// until; the clock is left at the time of the last executed event (or at
+// until, whichever is later, so callers can chain Run calls on a shared
+// timeline). It returns an error only if the event limit is exceeded.
+func (e *Engine) Run(until Time) error {
+	for len(e.events) > 0 && e.events[0].at <= until {
+		if e.limit > 0 && e.processed >= e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll executes every pending event (including ones scheduled by other
+// events) until the queue drains.
+func (e *Engine) RunAll() error {
+	for len(e.events) > 0 {
+		if e.limit > 0 && e.processed >= e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+		e.Step()
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []float64
+	for _, at := range []float64{3, 1, 2, 0.5, 2.5} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events ran out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("ran %d events, want 5", len(got))
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1.0, func() { got = append(got, i) })
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineAfterAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.After(2, func() {
+		if e.Now() != 2 {
+			t.Errorf("now = %v inside event, want 2", e.Now())
+		}
+		e.After(3, func() {
+			if e.Now() != 5 {
+				t.Errorf("nested now = %v, want 5", e.Now())
+			}
+		})
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final now = %v, want 5", e.Now())
+	}
+}
+
+func TestEngineRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.At(1, func() { ran++ })
+	e.At(10, func() { ran++ })
+	if err := e.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events before t=5, want 1", ran)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("now = %v after Run(5), want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if err := e.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineEventLimit(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	if err := e.RunAll(); err == nil {
+		t.Fatal("expected event-limit error for infinite loop")
+	}
+}
+
+func TestEngineNonFiniteTimePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("NaN schedule did not panic")
+		}
+	}()
+	e.At(nan(), func() {})
+}
+
+func nan() float64 { var z float64; return z / z }
+
+// Property: for any set of non-negative delays, RunAll executes them all and
+// the clock ends at the max delay.
+func TestEngineProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		maxT := 0.0
+		n := 0
+		for _, r := range raw {
+			at := float64(r) / 16.0
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { n++ })
+		}
+		if err := e.RunAll(); err != nil {
+			return false
+		}
+		if n != len(raw) {
+			return false
+		}
+		return len(raw) == 0 || e.Now() == maxT
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

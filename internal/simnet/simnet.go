@@ -1,0 +1,67 @@
+// Package simnet models the cluster interconnect: GPUs on one server share
+// a PCIe bus; servers are joined by 10 Gbps Ethernet (the paper's testbed,
+// §5 Experimental Setup). Transfer time is latency + bytes/bandwidth.
+package simnet
+
+import "fmt"
+
+// Link is a point-to-point transfer path.
+type Link struct {
+	// BandwidthBps is usable bandwidth in bytes per second.
+	BandwidthBps float64
+	// Latency is the fixed per-transfer setup cost in seconds.
+	Latency float64
+	Name    string
+}
+
+// The paper's two interconnects. PCIe 3.0 x16 delivers ~12 GB/s usable and
+// is shared within a server; 10 Gbps Ethernet delivers ~1.17 GB/s usable
+// after framing.
+var (
+	PCIe = Link{BandwidthBps: 12e9, Latency: 5e-6, Name: "pcie"}
+	// Ethernet10G models the paper's inter-server links.
+	Ethernet10G = Link{BandwidthBps: 1.17e9, Latency: 50e-6, Name: "eth10g"}
+	// Loopback models a split boundary placed on the same GPU (no copy).
+	Loopback = Link{BandwidthBps: 900e9, Latency: 0, Name: "local"}
+)
+
+// TransferTime returns the seconds needed to move n bytes over the link.
+func (l Link) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	if l.BandwidthBps <= 0 {
+		panic(fmt.Sprintf("simnet: link %q has no bandwidth", l.Name))
+	}
+	return l.Latency + bytes/l.BandwidthBps
+}
+
+// Topology answers "what link joins these two devices" given their machine
+// placement. Machine indices identify servers; equal indices share PCIe.
+type Topology struct {
+	Intra Link // link between GPUs on the same machine
+	Inter Link // link between GPUs on different machines
+}
+
+// Default is the paper's testbed topology.
+func Default() Topology {
+	return Topology{Intra: PCIe, Inter: Ethernet10G}
+}
+
+// Between returns the link joining devices on machines a and b.
+func (t Topology) Between(a, b int) Link {
+	if a == b {
+		return t.Intra
+	}
+	return t.Inter
+}
+
+// WorstCase returns the slower of the two links; the optimizer uses it when
+// placement is not yet decided (conservative planning, so realized comm can
+// only be cheaper than planned).
+func (t Topology) WorstCase() Link {
+	if t.Intra.BandwidthBps < t.Inter.BandwidthBps {
+		return t.Intra
+	}
+	return t.Inter
+}

@@ -1,0 +1,59 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransferTimeZeroBytes(t *testing.T) {
+	if got := Ethernet10G.TransferTime(0); got != 0 {
+		t.Errorf("zero-byte transfer = %v, want 0", got)
+	}
+}
+
+func TestTransferTimeLinear(t *testing.T) {
+	l := Ethernet10G
+	t1 := l.TransferTime(1e6)
+	t2 := l.TransferTime(2e6)
+	// Subtracting latency, time should double exactly.
+	if got := (t2 - l.Latency) / (t1 - l.Latency); math.Abs(got-2) > 1e-9 {
+		t.Errorf("bandwidth term not linear: ratio %v", got)
+	}
+}
+
+func TestEthernetSlowerThanPCIe(t *testing.T) {
+	bytes := 6.3e6 // one BERT batch of 16 activations
+	if PCIe.TransferTime(bytes) >= Ethernet10G.TransferTime(bytes) {
+		t.Error("PCIe should be faster than 10G Ethernet")
+	}
+	// A 6.3 MB activation batch over 10G Ethernet is milliseconds — the
+	// overhead E3's pipelining must hide.
+	if got := Ethernet10G.TransferTime(bytes); got < 3e-3 || got > 10e-3 {
+		t.Errorf("ethernet transfer of %v bytes = %v s, want single-digit ms", bytes, got)
+	}
+}
+
+func TestTopologyBetween(t *testing.T) {
+	top := Default()
+	if got := top.Between(3, 3); got.Name != "pcie" {
+		t.Errorf("same-machine link = %q, want pcie", got.Name)
+	}
+	if got := top.Between(0, 1); got.Name != "eth10g" {
+		t.Errorf("cross-machine link = %q, want eth10g", got.Name)
+	}
+}
+
+func TestWorstCase(t *testing.T) {
+	if got := Default().WorstCase(); got.Name != "eth10g" {
+		t.Errorf("worst case = %q, want eth10g", got.Name)
+	}
+}
+
+func TestZeroBandwidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-bandwidth link did not panic")
+		}
+	}()
+	(Link{Name: "bad"}).TransferTime(1)
+}

@@ -1,0 +1,161 @@
+// Package workload generates inference inputs. Each sample carries a latent
+// difficulty in [0,1] — the only property of an input that matters to an
+// early-exit serving system, because it determines how deep the input
+// travels before a ramp's confidence test passes. Dataset presets encode
+// the exit behaviour the paper reports for GLUE, ImageNet, WMT, SAMSum and
+// BoolQ; mixes recreate the 80/20, 50/50 and 20/80 easy:hard workloads of
+// §5.4.
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist draws difficulties in [0,1].
+type Dist interface {
+	// Sample draws one difficulty using the provided source.
+	Sample(rng *rand.Rand) float64
+	// Mean returns the analytic mean difficulty.
+	Mean() float64
+}
+
+// Beta is a Beta(α,β) difficulty distribution.
+type Beta struct {
+	Alpha, Beta float64
+}
+
+// Sample draws via two Marsaglia–Tsang gamma variates.
+func (b Beta) Sample(rng *rand.Rand) float64 {
+	x := gammaSample(rng, b.Alpha)
+	y := gammaSample(rng, b.Beta)
+	if x+y == 0 {
+		return 0.5
+	}
+	v := x / (x + y)
+	// Clamp away from the exact endpoints so downstream logs/ratios are safe.
+	return math.Min(math.Max(v, 1e-9), 1-1e-9)
+}
+
+// Mean is α/(α+β).
+func (b Beta) Mean() float64 { return b.Alpha / (b.Alpha + b.Beta) }
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia–Tsang, with the boost
+// trick for shape < 1.
+func gammaSample(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("workload: gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) · U^{1/a}.
+		u := rng.Float64()
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Mixture draws from components with the given weights.
+type Mixture struct {
+	Components []Dist
+	Weights    []float64
+}
+
+// Sample picks a component by weight, then samples it.
+func (m Mixture) Sample(rng *rand.Rand) float64 {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range m.Weights {
+		acc += w
+		if u <= acc {
+			return m.Components[i].Sample(rng)
+		}
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}
+
+// Mean is the weight-averaged component mean.
+func (m Mixture) Mean() float64 {
+	total, sum := 0.0, 0.0
+	for i, w := range m.Weights {
+		total += w
+		sum += w * m.Components[i].Mean()
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / total
+}
+
+// Constant always returns the same difficulty; useful in tests.
+type Constant float64
+
+// Sample returns the constant.
+func (c Constant) Sample(*rand.Rand) float64 { return float64(c) }
+
+// Mean returns the constant.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Easy and Hard are the building blocks of the paper's workload mixes:
+// easy inputs exit in the first third of a model, hard ones mostly run to
+// completion.
+var (
+	easyDist Dist = Beta{Alpha: 1.8, Beta: 5.0}
+	hardDist Dist = Beta{Alpha: 6.0, Beta: 1.6}
+)
+
+// Mix builds the §5.4 workloads: easyFrac of inputs drawn from the easy
+// pool, the rest from the hard pool.
+func Mix(easyFrac float64) Dist {
+	if easyFrac < 0 || easyFrac > 1 {
+		panic("workload: easyFrac outside [0,1]")
+	}
+	return Mixture{
+		Components: []Dist{easyDist, hardDist},
+		Weights:    []float64{easyFrac, 1 - easyFrac},
+	}
+}
+
+// Dataset presets. Shapes are calibrated so that, under each model's
+// default exit policy, the exit fractions match the paper's reports (see
+// the calibration tests in the ee package).
+
+// SST2 is the GLUE sentiment task: roughly half of inputs exit by the
+// middle of BERT at entropy 0.4 (Figure 3).
+func SST2() Dist { return Beta{Alpha: 2.1, Beta: 2.3} }
+
+// QNLI is the GLUE QA-entailment task, slightly harder than SST-2.
+func QNLI() Dist { return Beta{Alpha: 2.4, Beta: 2.1} }
+
+// ImageNet drives the BranchyNet ResNet-50 experiments.
+func ImageNet() Dist { return Beta{Alpha: 2.0, Beta: 2.6} }
+
+// WMT models per-token difficulty for CALM translation: ~70% of tokens
+// exit by decoder layer 2 of 8 (§5.1.3).
+func WMT() Dist { return Beta{Alpha: 1.0, Beta: 4.2} }
+
+// SAMSum models per-token difficulty for CALM summarization.
+func SAMSum() Dist { return Beta{Alpha: 1.0, Beta: 4.0} }
+
+// BoolQ models Llama-3.1-8B yes/no answering: ~50% of inputs exit by layer
+// 25 of 32 (§5.1.3).
+func BoolQ() Dist { return Beta{Alpha: 3.8, Beta: 1.25} }

@@ -1,0 +1,52 @@
+package workload
+
+import "math/rand"
+
+// Sample is one inference request.
+type Sample struct {
+	ID         int64
+	Difficulty float64
+	// Arrival is the virtual time the request entered the system.
+	Arrival float64
+	// Deadline is Arrival + SLO; the serving layer drops samples it cannot
+	// finish by then.
+	Deadline float64
+}
+
+// Generator mints samples from a difficulty distribution with sequential
+// IDs. It is deterministic for a fixed seed.
+type Generator struct {
+	dist Dist
+	rng  *rand.Rand
+	next int64
+}
+
+// NewGenerator builds a seeded generator.
+func NewGenerator(dist Dist, seed int64) *Generator {
+	return &Generator{dist: dist, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next mints one sample arriving at the given time with the given SLO.
+func (g *Generator) Next(arrival, slo float64) Sample {
+	g.next++
+	return Sample{
+		ID:         g.next,
+		Difficulty: g.dist.Sample(g.rng),
+		Arrival:    arrival,
+		Deadline:   arrival + slo,
+	}
+}
+
+// Batch mints n samples that all arrive at the given time (closed-loop
+// clients always have a full batch waiting, §4).
+func (g *Generator) Batch(n int, arrival, slo float64) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = g.Next(arrival, slo)
+	}
+	return out
+}
+
+// SwitchDist changes the difficulty distribution mid-stream, modelling the
+// workload shifts of §5.4 (80/20 → 50/50 → 20/80).
+func (g *Generator) SwitchDist(d Dist) { g.dist = d }

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func empiricalMean(d Dist, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	return sum / float64(n)
+}
+
+func empiricalCDF(d Dist, x float64, n int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	c := 0
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) <= x {
+			c++
+		}
+	}
+	return float64(c) / float64(n)
+}
+
+func TestBetaMeanMatchesAnalytic(t *testing.T) {
+	cases := []Beta{{2, 2}, {1, 4.2}, {3.8, 1.25}, {0.5, 0.5}, {5, 1}}
+	for _, b := range cases {
+		got := empiricalMean(b, 40000, 1)
+		want := b.Mean()
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) empirical mean %v, analytic %v", b.Alpha, b.Beta, got, want)
+		}
+	}
+}
+
+func TestBetaRangeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(ra, rb uint8) bool {
+		a := 0.3 + float64(ra%40)/10
+		b := 0.3 + float64(rb%40)/10
+		d := Beta{a, b}
+		for i := 0; i < 50; i++ {
+			v := d.Sample(rng)
+			if v <= 0 || v >= 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGammaShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive gamma shape did not panic")
+		}
+	}()
+	gammaSample(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestMixtureMean(t *testing.T) {
+	m := Mixture{Components: []Dist{Constant(0.2), Constant(0.8)}, Weights: []float64{3, 1}}
+	if got := m.Mean(); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("mixture mean = %v, want 0.35", got)
+	}
+	got := empiricalMean(m, 20000, 2)
+	if math.Abs(got-0.35) > 0.01 {
+		t.Errorf("mixture empirical mean = %v, want 0.35", got)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	// An 80% easy mix must be much easier than a 20% easy mix.
+	easy := empiricalMean(Mix(0.8), 20000, 4)
+	hard := empiricalMean(Mix(0.2), 20000, 5)
+	if easy >= hard {
+		t.Errorf("Mix(0.8) mean %v not easier than Mix(0.2) mean %v", easy, hard)
+	}
+	if easy > 0.45 {
+		t.Errorf("80/20 mix mean %v, want < 0.45 (mostly-easy)", easy)
+	}
+	if hard < 0.55 {
+		t.Errorf("20/80 mix mean %v, want > 0.55 (mostly-hard)", hard)
+	}
+}
+
+func TestMixPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mix(1.5) did not panic")
+		}
+	}()
+	Mix(1.5)
+}
+
+func TestWMTCalibration(t *testing.T) {
+	// ~70% of WMT tokens must sit below difficulty 0.25 (exit by decoder
+	// layer 2 of 8 under CALM's default threshold).
+	got := empiricalCDF(WMT(), 0.25, 40000, 6)
+	if got < 0.62 || got > 0.78 {
+		t.Errorf("P(WMT difficulty ≤ 0.25) = %v, want ~0.70", got)
+	}
+}
+
+func TestBoolQCalibration(t *testing.T) {
+	// ~50% of BoolQ inputs exit by layer 25/32 → difficulty ≤ 0.781.
+	got := empiricalCDF(BoolQ(), 25.0/32.0, 40000, 7)
+	if got < 0.40 || got > 0.60 {
+		t.Errorf("P(BoolQ difficulty ≤ 25/32) = %v, want ~0.50", got)
+	}
+}
+
+func TestGLUECalibration(t *testing.T) {
+	// Roughly half of SST-2/QNLI inputs exit by mid-model (Figure 3).
+	for name, d := range map[string]Dist{"sst2": SST2(), "qnli": QNLI()} {
+		got := empiricalCDF(d, 0.5, 40000, 8)
+		if got < 0.35 || got > 0.65 {
+			t.Errorf("P(%s ≤ 0.5) = %v, want ~0.5", name, got)
+		}
+	}
+	// QNLI is the harder task.
+	if QNLI().Mean() <= SST2().Mean() {
+		t.Error("QNLI should be harder than SST-2")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(SST2(), 42)
+	b := NewGenerator(SST2(), 42)
+	for i := 0; i < 100; i++ {
+		sa := a.Next(1, 0.1)
+		sb := b.Next(1, 0.1)
+		if sa != sb {
+			t.Fatalf("generator not deterministic at %d: %+v vs %+v", i, sa, sb)
+		}
+	}
+}
+
+func TestGeneratorIDsAndDeadlines(t *testing.T) {
+	g := NewGenerator(Constant(0.5), 1)
+	s1 := g.Next(10, 0.1)
+	s2 := g.Next(11, 0.1)
+	if s1.ID != 1 || s2.ID != 2 {
+		t.Errorf("IDs = %d,%d, want 1,2", s1.ID, s2.ID)
+	}
+	if s1.Deadline != 10.1 {
+		t.Errorf("deadline = %v, want 10.1", s1.Deadline)
+	}
+}
+
+func TestGeneratorBatch(t *testing.T) {
+	g := NewGenerator(Constant(0.3), 1)
+	b := g.Batch(8, 5, 0.1)
+	if len(b) != 8 {
+		t.Fatalf("batch len = %d", len(b))
+	}
+	for i, s := range b {
+		if s.Arrival != 5 || s.Difficulty != 0.3 {
+			t.Errorf("sample %d = %+v", i, s)
+		}
+	}
+}
+
+func TestSwitchDist(t *testing.T) {
+	g := NewGenerator(Constant(0.1), 1)
+	if s := g.Next(0, 1); s.Difficulty != 0.1 {
+		t.Fatalf("pre-switch difficulty %v", s.Difficulty)
+	}
+	g.SwitchDist(Constant(0.9))
+	if s := g.Next(0, 1); s.Difficulty != 0.9 {
+		t.Fatalf("post-switch difficulty %v", s.Difficulty)
+	}
+}
