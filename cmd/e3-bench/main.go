@@ -21,6 +21,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	fig := flag.String("fig", "", "run a single experiment by ID")
 	all := flag.Bool("all", false, "run every registered experiment")
+	auditRun := flag.Bool("audit", false, "run the lifecycle conservation audit (bursty open loop, all runners); exits nonzero on violations")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -31,6 +32,23 @@ func main() {
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *auditRun {
+		start := time.Now()
+		t, violations := experiments.RunAudit()
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			t.CSV(os.Stdout)
+		} else {
+			t.Print(os.Stdout)
+			fmt.Printf("  (completed in %.1fs)\n\n", time.Since(start).Seconds())
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "e3-bench: audit found %d conservation violation(s)\n", violations)
+			os.Exit(1)
 		}
 		return
 	}

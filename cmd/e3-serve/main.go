@@ -36,6 +36,7 @@ func main() {
 	batch := flag.Int("batch", 8, "input batch size")
 	slo := flag.Duration("slo", 100*time.Millisecond, "latency SLO")
 	easy := flag.Float64("easy", 0.8, "easy fraction of the expected workload")
+	auditBoot := flag.Bool("audit", false, "verify the plan with a boot-time lifecycle conservation audit and expose it via /v1/stats")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, 0.4)
@@ -62,6 +63,23 @@ func main() {
 	log.Printf("e3-serve: %s", plan)
 
 	api := serving.NewAPI(m, plan)
+	if *auditBoot {
+		// Self-check before serving: replay a bursty open-loop trace at the
+		// planned goodput through the full batching/scheduling stack and
+		// verify every sample is accounted exactly once.
+		rep, err := serving.AuditPlan(clus, m, plan, workload.Mix(*easy),
+			plan.Goodput, 10.0, slo.Seconds(), 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-serve: audit failed:", err)
+			os.Exit(1)
+		}
+		log.Printf("e3-serve: %s", rep)
+		if !rep.OK() {
+			fmt.Fprintln(os.Stderr, "e3-serve: refusing to serve a plan that fails conservation")
+			os.Exit(1)
+		}
+		api.AttachAudit(rep)
+	}
 	log.Printf("e3-serve: listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {
 		log.Fatal(err)

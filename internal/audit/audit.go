@@ -1,0 +1,363 @@
+// Package audit provides a per-sample lifecycle ledger for the serving
+// stack. Every sample minted by the workload generator is tracked through
+// its transitions — arrived → queued (batcher) → dispatched(stage,
+// instance) → merged → completed(exit layer) | dropped(reason) — each with
+// its virtual timestamp. At end of run Verify asserts conservation
+// invariants: no sample is lost or double-terminated, timestamps are
+// monotone per sample, every drop carries a classified reason, and
+// per-stage in/out counts balance. The ledger is the simulator's
+// self-check: E3's whole value proposition is goodput accounting under
+// SLOs (§3.1, §4), so every sample must be accounted exactly once.
+//
+// A nil *Ledger is valid and records nothing, so call sites wire events
+// unconditionally and auditing costs nothing when disabled.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind enumerates lifecycle transitions.
+type Kind uint8
+
+const (
+	// KindArrived marks a sample minted by the generator.
+	KindArrived Kind = iota
+	// KindQueued marks admission into a batcher queue.
+	KindQueued
+	// KindDispatched marks hand-off to a runner stage instance.
+	KindDispatched
+	// KindMerged marks entry into a stage's survivor merge queue.
+	KindMerged
+	// KindCompleted marks execution finishing (terminal).
+	KindCompleted
+	// KindDropped marks shedding without completion (terminal).
+	KindDropped
+)
+
+// String names the kind for violation messages.
+func (k Kind) String() string {
+	switch k {
+	case KindArrived:
+		return "arrived"
+	case KindQueued:
+		return "queued"
+	case KindDispatched:
+		return "dispatched"
+	case KindMerged:
+		return "merged"
+	case KindCompleted:
+		return "completed"
+	case KindDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// Reason classifies why a sample was dropped.
+type Reason string
+
+const (
+	// ReasonAdmission: shed on arrival — hopeless even if dispatched now.
+	ReasonAdmission Reason = "admission"
+	// ReasonStaleShed: shed from a runner backlog after its deadline became
+	// unreachable (Clockwork-style, §3.1).
+	ReasonStaleShed Reason = "stale-shed"
+	// ReasonSLAFlush: shed from the batcher queue at an SLA-pressure flush.
+	ReasonSLAFlush Reason = "sla-flush"
+)
+
+// Event is one recorded transition.
+type Event struct {
+	Kind Kind
+	// At is the virtual time of the transition.
+	At float64
+	// Stage and Instance locate a dispatch (Instance is a device index).
+	Stage, Instance int
+	// ExitLayer is the 1-based exit layer of a completion.
+	ExitLayer int
+	// Reason classifies a drop.
+	Reason Reason
+}
+
+// Ledger records lifecycle events keyed by sample ID. It is not safe for
+// concurrent use; like the sim engine, all recording happens on the event
+// loop's goroutine.
+type Ledger struct {
+	events map[int64][]Event
+	order  []int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{events: make(map[int64][]Event)}
+}
+
+// Enabled reports whether events are being recorded.
+func (l *Ledger) Enabled() bool { return l != nil }
+
+func (l *Ledger) record(id int64, e Event) {
+	if l == nil {
+		return
+	}
+	if _, seen := l.events[id]; !seen {
+		l.order = append(l.order, id)
+	}
+	l.events[id] = append(l.events[id], e)
+}
+
+// Arrived records a sample minted by the generator at virtual time at.
+func (l *Ledger) Arrived(id int64, at float64) {
+	l.record(id, Event{Kind: KindArrived, At: at})
+}
+
+// Queued records admission into a batcher queue.
+func (l *Ledger) Queued(id int64, at float64) {
+	l.record(id, Event{Kind: KindQueued, At: at})
+}
+
+// Dispatched records hand-off to stage's instance (a device index).
+func (l *Ledger) Dispatched(id int64, at float64, stage, instance int) {
+	l.record(id, Event{Kind: KindDispatched, At: at, Stage: stage, Instance: instance})
+}
+
+// Merged records entry into stage's survivor merge queue.
+func (l *Ledger) Merged(id int64, at float64, stage int) {
+	l.record(id, Event{Kind: KindMerged, At: at, Stage: stage})
+}
+
+// Completed records execution finishing with the given 1-based exit layer.
+func (l *Ledger) Completed(id int64, at float64, exitLayer int) {
+	l.record(id, Event{Kind: KindCompleted, At: at, ExitLayer: exitLayer})
+}
+
+// Dropped records the sample being shed for the given reason.
+func (l *Ledger) Dropped(id int64, at float64, reason Reason) {
+	l.record(id, Event{Kind: KindDropped, At: at, Reason: reason})
+}
+
+// Samples reports how many distinct sample IDs have events.
+func (l *Ledger) Samples() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.order)
+}
+
+// Events returns the recorded events for one sample (nil if unknown).
+func (l *Ledger) Events(id int64) []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events[id]
+}
+
+// StageFlow tallies one stage's traffic for the balance check.
+type StageFlow struct {
+	// In counts batched samples dispatched into the stage.
+	In int
+	// Completed and Dropped count terminal outcomes attributed to the
+	// stage (the sample's last dispatch before terminating).
+	Completed int
+	Dropped   int
+	// Forwarded counts samples dispatched onward to a later stage.
+	Forwarded int
+}
+
+// maxViolations bounds the report so a systemic bug doesn't balloon memory.
+const maxViolations = 64
+
+// Report is the outcome of a conservation audit.
+type Report struct {
+	// Samples is the number of distinct tracked samples.
+	Samples int
+	// Completed and Dropped count terminal outcomes.
+	Completed int
+	Dropped   int
+	// ByReason breaks Dropped down by classified reason.
+	ByReason map[Reason]int
+	// Stages maps stage index → in/out tallies.
+	Stages map[int]*StageFlow
+	// Violations lists human-readable invariant failures (capped).
+	Violations []string
+	// truncated counts violations beyond the cap.
+	truncated int
+}
+
+// OK reports whether every invariant held.
+func (r *Report) OK() bool { return len(r.Violations) == 0 && r.truncated == 0 }
+
+// Err returns nil when OK, else an error summarizing the violations.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	n := len(r.Violations) + r.truncated
+	return fmt.Errorf("audit: %d conservation violation(s); first: %s", n, r.Violations[0])
+}
+
+func (r *Report) addViolation(format string, args ...any) {
+	if len(r.Violations) >= maxViolations {
+		r.truncated++
+		return
+	}
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// CrossCheck asserts the ledger's terminal totals against an external
+// accounting (the collector's Served+Violations and Dropped counters).
+func (r *Report) CrossCheck(completed, dropped int) {
+	if r.Completed != completed {
+		r.addViolation("ledger completed %d, collector served+violated %d", r.Completed, completed)
+	}
+	if r.Dropped != dropped {
+		r.addViolation("ledger dropped %d, collector dropped %d", r.Dropped, dropped)
+	}
+}
+
+// String renders a one-line summary plus any violations.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d samples, %d completed, %d dropped", r.Samples, r.Completed, r.Dropped)
+	if len(r.ByReason) > 0 {
+		reasons := make([]string, 0, len(r.ByReason))
+		for reason := range r.ByReason {
+			reasons = append(reasons, string(reason))
+		}
+		sort.Strings(reasons)
+		parts := make([]string, len(reasons))
+		for i, reason := range reasons {
+			parts[i] = fmt.Sprintf("%s=%d", reason, r.ByReason[Reason(reason)])
+		}
+		fmt.Fprintf(&b, " (%s)", strings.Join(parts, " "))
+	}
+	if r.OK() {
+		b.WriteString("; conservation OK")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "; %d violation(s):", len(r.Violations)+r.truncated)
+	for _, v := range r.Violations {
+		b.WriteString("\n  " + v)
+	}
+	if r.truncated > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more", r.truncated)
+	}
+	return b.String()
+}
+
+func knownReason(reason Reason) bool {
+	switch reason {
+	case ReasonAdmission, ReasonStaleShed, ReasonSLAFlush:
+		return true
+	}
+	return false
+}
+
+// Verify walks every tracked sample and checks the conservation
+// invariants, returning a report with per-stage tallies. A nil ledger
+// verifies vacuously (an empty, OK report).
+func (l *Ledger) Verify() *Report {
+	r := &Report{ByReason: make(map[Reason]int), Stages: make(map[int]*StageFlow)}
+	if l == nil {
+		return r
+	}
+	r.Samples = len(l.order)
+	stage := func(si int) *StageFlow {
+		f := r.Stages[si]
+		if f == nil {
+			f = &StageFlow{}
+			r.Stages[si] = f
+		}
+		return f
+	}
+	for _, id := range l.order {
+		evs := l.events[id]
+		terminals := 0
+		lastStage := -1 // last stage the sample was dispatched into
+		prevAt := 0.0
+		for i, e := range evs {
+			if i > 0 && e.At < prevAt {
+				r.addViolation("sample %d: %s at t=%v before prior event at t=%v", id, e.Kind, e.At, prevAt)
+			}
+			prevAt = e.At
+			if e.Kind == KindArrived && i != 0 {
+				r.addViolation("sample %d: arrival is event #%d, want first", id, i+1)
+			}
+			switch e.Kind {
+			case KindCompleted, KindDropped:
+				terminals++
+				if i != len(evs)-1 {
+					r.addViolation("sample %d: terminal %s followed by %d more event(s)", id, e.Kind, len(evs)-1-i)
+				}
+			case KindDispatched:
+				if e.Stage < lastStage {
+					r.addViolation("sample %d: dispatched to stage %d after stage %d", id, e.Stage, lastStage)
+				}
+				if lastStage >= 0 && e.Stage > lastStage {
+					stage(lastStage).Forwarded++
+				}
+				stage(e.Stage).In++
+				lastStage = e.Stage
+			}
+			if e.Kind == KindDropped && !knownReason(e.Reason) {
+				r.addViolation("sample %d: drop reason %q unclassified", id, e.Reason)
+			}
+		}
+		switch {
+		case terminals == 0:
+			r.addViolation("sample %d: no terminal event (%d event(s), last %s at t=%v)",
+				id, len(evs), evs[len(evs)-1].Kind, evs[len(evs)-1].At)
+		case terminals > 1:
+			r.addViolation("sample %d: %d terminal events, want exactly 1", id, terminals)
+		}
+		if terminals >= 1 {
+			// Attribute the first terminal to the last dispatched stage.
+			for _, e := range evs {
+				if e.Kind == KindCompleted {
+					r.Completed++
+					if lastStage >= 0 {
+						stage(lastStage).Completed++
+					}
+					break
+				}
+				if e.Kind == KindDropped {
+					r.Dropped++
+					r.ByReason[e.Reason]++
+					if lastStage >= 0 {
+						stage(lastStage).Dropped++
+					}
+					break
+				}
+			}
+		}
+	}
+	// Per-stage balance: everything dispatched in must terminate there or
+	// be forwarded onward. (Samples stuck mid-stage already violated the
+	// terminal check; this catches tally drift in the accounting itself.)
+	for si, f := range r.Stages {
+		if out := f.Completed + f.Dropped + f.Forwarded; out != f.In {
+			r.addViolation("stage %d: in %d ≠ out %d (completed %d + dropped %d + forwarded %d)",
+				si, f.In, out, f.Completed, f.Dropped, f.Forwarded)
+		}
+	}
+	return r
+}
+
+// DropBreakdown returns drops per classified reason without running a full
+// verification (for live stats endpoints).
+func (l *Ledger) DropBreakdown() map[Reason]int {
+	out := make(map[Reason]int)
+	if l == nil {
+		return out
+	}
+	for _, evs := range l.events {
+		for _, e := range evs {
+			if e.Kind == KindDropped {
+				out[e.Reason]++
+			}
+		}
+	}
+	return out
+}

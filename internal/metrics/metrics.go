@@ -158,24 +158,52 @@ func (g *GoodputMeter) DropRate() float64 {
 	return float64(g.Dropped) / float64(total)
 }
 
-// UtilizationTracker integrates busy time per resource so experiments can
-// report average GPU utilization over a horizon.
+// busySpan is one contiguous busy interval of a resource in virtual time.
+type busySpan struct {
+	start, end float64
+}
+
+// UtilizationTracker records busy intervals per resource so experiments
+// can report average GPU utilization over a horizon. Intervals (not bare
+// sums) are kept because work dispatched near the end of a run extends
+// past the measurement horizon: crediting its full duration would count
+// busy time outside [start, end] and saturate the reported fraction.
 type UtilizationTracker struct {
-	busy  map[string]float64
+	busy  map[string][]busySpan
 	since float64
 }
 
 // NewUtilizationTracker starts tracking at virtual time start.
 func NewUtilizationTracker(start float64) *UtilizationTracker {
-	return &UtilizationTracker{busy: make(map[string]float64), since: start}
+	return &UtilizationTracker{busy: make(map[string][]busySpan), since: start}
 }
 
-// AddBusy credits d seconds of busy time to resource name.
-func (u *UtilizationTracker) AddBusy(name string, d float64) {
+// AddBusy credits d seconds of busy time to resource name beginning at
+// virtual time start.
+func (u *UtilizationTracker) AddBusy(name string, start, d float64) {
 	if d < 0 {
 		d = 0
 	}
-	u.busy[name] += d
+	u.busy[name] = append(u.busy[name], busySpan{start: start, end: start + d})
+}
+
+// busyWithin sums the spans' overlap with the measurement window
+// [u.since, end].
+func (u *UtilizationTracker) busyWithin(spans []busySpan, end float64) float64 {
+	total := 0.0
+	for _, s := range spans {
+		lo, hi := s.start, s.end
+		if lo < u.since {
+			lo = u.since
+		}
+		if hi > end {
+			hi = end
+		}
+		if hi > lo {
+			total += hi - lo
+		}
+	}
+	return total
 }
 
 // Utilization reports mean busy fraction across all tracked resources over
@@ -187,8 +215,8 @@ func (u *UtilizationTracker) Utilization(end float64) float64 {
 		return 0
 	}
 	sum := 0.0
-	for _, b := range u.busy {
-		frac := b / horizon
+	for _, spans := range u.busy {
+		frac := u.busyWithin(spans, end) / horizon
 		if frac > 1 {
 			frac = 1
 		}
@@ -200,7 +228,7 @@ func (u *UtilizationTracker) Utilization(end float64) float64 {
 // Register ensures a resource appears in the denominator even if always idle.
 func (u *UtilizationTracker) Register(name string) {
 	if _, ok := u.busy[name]; !ok {
-		u.busy[name] = 0
+		u.busy[name] = nil
 	}
 }
 
@@ -208,12 +236,12 @@ func (u *UtilizationTracker) Register(name string) {
 func (u *UtilizationTracker) PerResource(end float64) map[string]float64 {
 	horizon := end - u.since
 	out := make(map[string]float64, len(u.busy))
-	for name, b := range u.busy {
+	for name, spans := range u.busy {
 		if horizon <= 0 {
 			out[name] = 0
 			continue
 		}
-		frac := b / horizon
+		frac := u.busyWithin(spans, end) / horizon
 		if frac > 1 {
 			frac = 1
 		}

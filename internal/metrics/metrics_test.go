@@ -82,7 +82,7 @@ func TestUtilizationTracker(t *testing.T) {
 	u := NewUtilizationTracker(0)
 	u.Register("gpu0")
 	u.Register("gpu1")
-	u.AddBusy("gpu0", 5)
+	u.AddBusy("gpu0", 0, 5)
 	got := u.Utilization(10)
 	if math.Abs(got-0.25) > 1e-9 {
 		t.Errorf("utilization = %v, want 0.25", got)
@@ -95,9 +95,35 @@ func TestUtilizationTracker(t *testing.T) {
 
 func TestUtilizationClamped(t *testing.T) {
 	u := NewUtilizationTracker(0)
-	u.AddBusy("gpu0", 100)
+	u.AddBusy("gpu0", 0, 100)
 	if got := u.Utilization(10); got != 1 {
 		t.Errorf("utilization = %v, want clamped to 1", got)
+	}
+}
+
+// Regression: busy time credited at dispatch must not count past the
+// measurement horizon. The seed summed durations, so a batch dispatched
+// just before the end of a run credited its full service time and
+// utilization saturated at the per-resource clamp instead of reporting
+// the true fraction.
+func TestUtilizationClampsBusyToHorizon(t *testing.T) {
+	u := NewUtilizationTracker(0)
+	u.Register("gpu0")
+	// Dispatched at t=9.5 with 10s of service: only 0.5s lies inside the
+	// [0, 10] measurement window.
+	u.AddBusy("gpu0", 9.5, 10)
+	if got, want := u.Utilization(10), 0.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("utilization = %v, want %v (busy clamped to horizon)", got, want)
+	}
+	per := u.PerResource(10)
+	if got, want := per["gpu0"], 0.05; math.Abs(got-want) > 1e-9 {
+		t.Errorf("per-resource = %v, want %v", got, want)
+	}
+	// Work entirely before the tracking window start counts as zero.
+	v := NewUtilizationTracker(5)
+	v.AddBusy("gpu0", 0, 4)
+	if got := v.Utilization(10); got != 0 {
+		t.Errorf("utilization = %v, want 0 for pre-window busy time", got)
 	}
 }
 

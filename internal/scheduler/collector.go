@@ -7,6 +7,7 @@
 package scheduler
 
 import (
+	"e3/internal/audit"
 	"e3/internal/metrics"
 	"e3/internal/profile"
 	"e3/internal/workload"
@@ -34,6 +35,13 @@ type Collector struct {
 	Violations int
 	Dropped    int
 
+	// DroppedByReason breaks Dropped down by classified shed reason.
+	DroppedByReason map[audit.Reason]int
+
+	// Audit is an optional lifecycle ledger shared by the generator, the
+	// batcher, and the runner (nil disables auditing at zero cost).
+	Audit *audit.Ledger
+
 	// exitCounts[k] counts samples that exited after layer k (1-based).
 	exitCounts []int
 	layers     int
@@ -46,11 +54,12 @@ type Collector struct {
 // NewCollector builds a collector for an L-layer model.
 func NewCollector(layers int, slo, start float64) *Collector {
 	return &Collector{
-		SLO:        slo,
-		Good:       metrics.NewGoodputMeter(start),
-		Util:       metrics.NewUtilizationTracker(start),
-		exitCounts: make([]int, layers+1),
-		layers:     layers,
+		SLO:             slo,
+		Good:            metrics.NewGoodputMeter(start),
+		Util:            metrics.NewUtilizationTracker(start),
+		exitCounts:      make([]int, layers+1),
+		layers:          layers,
+		DroppedByReason: make(map[audit.Reason]int),
 	}
 }
 
@@ -69,13 +78,30 @@ func (c *Collector) Complete(s workload.Sample, at float64, exitLayer int) {
 		c.Good.Drop(1, at)
 		c.windowViolations++
 	}
+	c.Audit.Completed(s.ID, at, exitLayer)
 }
 
-// Drop records a sample shed without execution (admission control).
-func (c *Collector) Drop(s workload.Sample, at float64) {
+// Drop records a sample shed without execution, classified by reason
+// (admission control, stale-backlog shedding, or SLA-pressure flush).
+func (c *Collector) Drop(s workload.Sample, at float64, reason audit.Reason) {
 	c.Dropped++
+	if c.DroppedByReason == nil {
+		c.DroppedByReason = make(map[audit.Reason]int)
+	}
+	c.DroppedByReason[reason]++
 	c.Good.Drop(1, at)
 	c.windowViolations++
+	c.Audit.Dropped(s.ID, at, reason)
+}
+
+// AuditReport verifies the attached ledger's conservation invariants and
+// cross-checks its terminal totals against this collector's counters.
+// With no ledger attached it reports only the counter cross-check (which
+// fails unless both sides are zero, making a missing ledger loud).
+func (c *Collector) AuditReport() *audit.Report {
+	r := c.Audit.Verify()
+	r.CrossCheck(c.Good.Served+c.Violations, c.Dropped)
+	return r
 }
 
 // ObservedProfile reconstructs the survival profile from the exit

@@ -59,6 +59,10 @@ func (d *DataParallel) Ingest(batch []workload.Sample) {
 		}
 	}
 	d.rr++
+	now := d.eng.Now()
+	for _, s := range batch {
+		d.coll.Audit.Dispatched(s.ID, now, 0, pick.device)
+	}
 	pick.queue = append(pick.queue, batch)
 	if !pick.busy {
 		d.runNext(pick)
@@ -77,7 +81,7 @@ func (d *DataParallel) runNext(inst *instance) {
 	dev := d.clus.Devices[inst.device]
 	L := d.model.Base.NumLayers()
 	res := exec.RunSegment(d.model, 1, L, batch, dev.Spec(), dev.Slowdown)
-	d.coll.Util.AddBusy(dev.ID, res.Duration)
+	d.coll.Util.AddBusy(dev.ID, d.eng.Now(), res.Duration)
 	if d.ewmaBatch == 0 {
 		d.ewmaBatch = res.Duration
 	} else {

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"fmt"
 
+	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/exec"
@@ -48,6 +49,10 @@ type stage struct {
 type pendingSample struct {
 	s  workload.Sample
 	at float64
+	// dest is the instance whose device the survivor's activations were
+	// transferred to; batches formed from the merge queue dispatch there
+	// so realized comm time matches realized placement.
+	dest *instance
 }
 
 type instance struct {
@@ -114,9 +119,11 @@ func (p *Pipeline) Ingest(batch []workload.Sample) {
 	p.dispatch(0, batch)
 }
 
-// dispatch hands a batch to the least-loaded non-excluded instance of a
-// stage.
-func (p *Pipeline) dispatch(si int, batch []workload.Sample) {
+// pickInstance selects the least-loaded non-excluded instance of a stage
+// (round-robin tie-break). It is called both at dispatch and at survivor
+// hand-off time, so transfer cost is computed against the instance the
+// batch will actually land on.
+func (p *Pipeline) pickInstance(si int) *instance {
 	st := p.stages[si]
 	var pick *instance
 	n := len(st.instances)
@@ -139,6 +146,21 @@ func (p *Pipeline) dispatch(si int, batch []workload.Sample) {
 		pick = st.instances[st.rr%n]
 	}
 	st.rr++
+	return pick
+}
+
+// dispatch hands a batch to the least-loaded non-excluded instance of a
+// stage.
+func (p *Pipeline) dispatch(si int, batch []workload.Sample) {
+	p.dispatchTo(si, p.pickInstance(si), batch)
+}
+
+// dispatchTo enqueues a batch on a specific instance.
+func (p *Pipeline) dispatchTo(si int, pick *instance, batch []workload.Sample) {
+	now := p.eng.Now()
+	for _, s := range batch {
+		p.coll.Audit.Dispatched(s.ID, now, si, pick.device)
+	}
 	pick.queue = append(pick.queue, batch)
 	if !pick.busy {
 		p.runNext(si, pick)
@@ -165,7 +187,7 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	viable := batch[:0]
 	for _, smp := range batch {
 		if smp.Deadline < now+st.downstream {
-			p.coll.Drop(smp, now)
+			p.coll.Drop(smp, now, audit.ReasonStaleShed)
 			continue
 		}
 		viable = append(viable, smp)
@@ -178,7 +200,7 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 
 	dev := p.clus.Devices[inst.device]
 	res := exec.RunSplit(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown)
-	p.coll.Util.AddBusy(dev.ID, res.Duration)
+	p.coll.Util.AddBusy(dev.ID, now, res.Duration)
 
 	// Straggler detection (§3.3): compare against the planned time for
 	// this exact batch size — partial batches have high fixed costs, so
@@ -198,13 +220,15 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 		})
 	}
 	if len(res.Survivors) > 0 && si+1 < len(p.stages) {
-		next := p.stages[si+1]
-		target := next.instances[0].device
-		comm := p.clus.Link(inst.device, target).
+		// Choose the target instance now, before computing transfer time:
+		// dispatch round-robins across replicas, and on clusters with
+		// heterogeneous links the comm time differs per target device.
+		target := p.pickInstance(si + 1)
+		comm := p.clus.Link(inst.device, target.device).
 			TransferTime(p.model.Base.Layers[st.split.To-1].ActBytes * float64(len(res.Survivors)))
 		survivors := res.Survivors
 		p.eng.After(res.Duration+res.HandoffDelay+comm, func() {
-			p.receive(si+1, survivors)
+			p.receive(si+1, survivors, target)
 		})
 	}
 	// Pipelining: the instance frees at compute completion; handoff and
@@ -214,14 +238,38 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	})
 }
 
-// receive merges survivors into a stage's queue and forms batches.
-func (p *Pipeline) receive(si int, survivors []workload.Sample) {
+// receive merges survivors into a stage's queue and forms batches. dest is
+// the instance their activations were transferred to.
+func (p *Pipeline) receive(si int, survivors []workload.Sample, dest *instance) {
 	st := p.stages[si]
 	now := p.eng.Now()
 	for _, s := range survivors {
-		st.merge = append(st.merge, pendingSample{s: s, at: now})
+		p.coll.Audit.Merged(s.ID, now, si)
+		st.merge = append(st.merge, pendingSample{s: s, at: now, dest: dest})
 	}
 	p.drain(si)
+}
+
+// takeMerged removes the first n merge-queue entries of a stage, returning
+// the formed batch and the transfer destination of its head.
+func (st *stage) takeMerged(n int) ([]workload.Sample, *instance) {
+	batch := make([]workload.Sample, n)
+	dest := st.merge[0].dest
+	for i := 0; i < n; i++ {
+		batch[i] = st.merge[i].s
+	}
+	st.merge = st.merge[n:]
+	return batch, dest
+}
+
+// dispatchMerged hands a merge-formed batch to the instance its head's
+// activations already live on, falling back to a fresh pick if that
+// instance has since been excluded.
+func (p *Pipeline) dispatchMerged(si int, dest *instance, batch []workload.Sample) {
+	if dest == nil || dest.excluded {
+		dest = p.pickInstance(si)
+	}
+	p.dispatchTo(si, dest, batch)
 }
 
 // flushDeadline is the latest time the merge head may sit before a partial
@@ -242,12 +290,8 @@ func (p *Pipeline) drain(si int) {
 	st := p.stages[si]
 	b0 := p.plan.Batch
 	for len(st.merge) >= b0 {
-		batch := make([]workload.Sample, b0)
-		for i := 0; i < b0; i++ {
-			batch[i] = st.merge[i].s
-		}
-		st.merge = st.merge[b0:]
-		p.dispatch(si, batch)
+		batch, dest := st.takeMerged(b0)
+		p.dispatchMerged(si, dest, batch)
 	}
 	if len(st.merge) > 0 && !st.flushArm {
 		st.flushArm = true
@@ -278,12 +322,8 @@ func (p *Pipeline) flush(si int) {
 	if n > p.plan.Batch {
 		n = p.plan.Batch
 	}
-	batch := make([]workload.Sample, n)
-	for i := 0; i < n; i++ {
-		batch[i] = st.merge[i].s
-	}
-	st.merge = st.merge[n:]
-	p.dispatch(si, batch)
+	batch, dest := st.takeMerged(n)
+	p.dispatchMerged(si, dest, batch)
 	p.drain(si)
 }
 
@@ -320,12 +360,8 @@ func (p *Pipeline) FlushAll() {
 			if n > p.plan.Batch {
 				n = p.plan.Batch
 			}
-			batch := make([]workload.Sample, n)
-			for i := 0; i < n; i++ {
-				batch[i] = st.merge[i].s
-			}
-			st.merge = st.merge[n:]
-			p.dispatch(si, batch)
+			batch, dest := st.takeMerged(n)
+			p.dispatchMerged(si, dest, batch)
 		}
 	}
 }

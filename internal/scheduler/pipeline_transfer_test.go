@@ -1,0 +1,87 @@
+package scheduler
+
+import (
+	"testing"
+
+	"e3/internal/audit"
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/optimizer"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// transferMergeGap runs two full batches of stage-0 survivors through a
+// manual two-stage plan (stage 0: one replica on device 0; stage 1: two
+// replicas round-robinned across devices 1 and 2) and returns the gap
+// between the two batches' merge-arrival times at stage 1, read from the
+// lifecycle ledger. Round-robin sends batch 1 to device 1 and batch 2 to
+// device 2, so the gap includes the transfer time onto device 2.
+func transferMergeGap(t *testing.T, gpusPerMachine int) float64 {
+	t.Helper()
+	clus := cluster.New(map[gpu.Kind]int{gpu.V100: 3}, gpusPerMachine)
+	m := ee.NewDeeBERT(model.BERTBase(), 0.4)
+	plan := optimizer.Plan{
+		Splits: []optimizer.Split{
+			{From: 1, To: 6, Kind: gpu.V100, Replicas: 1, StageTime: 0.010, CommTime: 0.001},
+			{From: 7, To: 12, Kind: gpu.V100, Replicas: 2, StageTime: 0.010},
+		},
+		Batch:         4,
+		CycleTime:     0.010,
+		Pipelined:     true,
+		ModelParallel: true,
+	}
+	eng := sim.NewEngine()
+	coll := NewCollector(12, 10.0, 0)
+	coll.Audit = audit.NewLedger()
+	p, err := NewPipeline(eng, clus, m, plan, coll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Difficulty 1 samples run the full model, so every sample survives
+	// stage 0 and crosses the inter-stage link. Lax deadlines keep stale
+	// shedding and SLA flushes out of the picture.
+	mk := func(base int64) []workload.Sample {
+		b := make([]workload.Sample, plan.Batch)
+		for i := range b {
+			b[i] = workload.Sample{ID: base + int64(i), Difficulty: 1, Arrival: 0, Deadline: 100}
+		}
+		return b
+	}
+	p.Ingest(mk(1))
+	p.Ingest(mk(5))
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	mergedAt := func(id int64) float64 {
+		for _, e := range coll.Audit.Events(id) {
+			if e.Kind == audit.KindMerged {
+				return e.At
+			}
+		}
+		t.Fatalf("sample %d: no merged event (did not survive stage 0?)", id)
+		return 0
+	}
+	return mergedAt(5) - mergedAt(1)
+}
+
+// Regression: inter-stage transfer time must be computed against the
+// instance the survivors are actually handed to, not instances[0] of the
+// next stage. With 3 GPUs packed 2 per machine, round-robin sends the
+// second batch to the off-machine device 2 over Ethernet (50µs latency,
+// ~1.2GB/s) while the seed priced every transfer against on-machine device
+// 1 over PCIe (5µs, 12GB/s) — so the merge-arrival gap between two batches
+// was identical to the all-one-machine layout and the simulated pipeline
+// never saw cross-machine transfer cost.
+func TestPipelineTransferPricedAgainstChosenInstance(t *testing.T) {
+	gapHetero := transferMergeGap(t, 2) // dev0,dev1 on machine 0; dev2 on machine 1
+	gapHomo := transferMergeGap(t, 3)   // all three devices on one machine
+	// The Ethernet hop adds at least its 50µs base latency (minus PCIe's
+	// 5µs) plus the bandwidth gap on the activation bytes.
+	if gapHetero <= gapHomo+40e-6 {
+		t.Fatalf("merge gap hetero %.6gs vs homo %.6gs: cross-machine transfer not priced (want ≥ %.6gs difference)",
+			gapHetero, gapHomo, 40e-6)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/gpu"
@@ -49,11 +50,13 @@ func TestPipelineServesEverySample(t *testing.T) {
 	plan, m := testPlan(t, clus, 8, 0.8)
 	eng := sim.NewEngine()
 	coll := NewCollector(12, 0.1, 0)
+	coll.Audit = audit.NewLedger()
 	p, err := NewPipeline(eng, clus, m, plan, coll)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gen := workload.NewGenerator(workload.Mix(0.8), 7)
+	gen.SetAudit(coll.Audit)
 	const batches = 50
 	feed(t, eng, p, gen, 8, batches, plan.CycleTime/float64(len(plan.Splits)), 10 /* loose SLO */)
 	p.FlushAll()
@@ -69,6 +72,9 @@ func TestPipelineServesEverySample(t *testing.T) {
 	}
 	if p.PendingMerge() != 0 {
 		t.Errorf("merge queues not drained: %d", p.PendingMerge())
+	}
+	if err := coll.AuditReport().Err(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -196,15 +202,20 @@ func TestDataParallelVanilla(t *testing.T) {
 	m := ee.NewVanilla(model.BERTBase())
 	eng := sim.NewEngine()
 	coll := NewCollector(12, 10, 0)
+	coll.Audit = audit.NewLedger()
 	devs := []int{0, 1, 2, 3}
 	d, err := NewDataParallel(eng, clus, m, devs, coll)
 	if err != nil {
 		t.Fatal(err)
 	}
 	gen := workload.NewGenerator(workload.Mix(0.8), 13)
+	gen.SetAudit(coll.Audit)
 	feed(t, eng, d, gen, 8, 100, 0.004, 10)
 	if got := coll.Good.Served; got != 800 {
 		t.Errorf("vanilla served %d, want 800", got)
+	}
+	if err := coll.AuditReport().Err(); err != nil {
+		t.Error(err)
 	}
 	// All latencies identical shape: every sample runs the full model, so
 	// min latency ≥ full-model time.
@@ -272,6 +283,7 @@ func TestSerialSlowerThanPipeline(t *testing.T) {
 			v.eng = eng
 		}
 		gen := workload.NewGenerator(workload.Mix(0.8), 15)
+		gen.SetAudit(r.Collector().Audit)
 		for i := 0; i < batches; i++ {
 			r.Ingest(gen.Batch(8, 0, 10))
 		}
@@ -292,6 +304,7 @@ func TestSerialSlowerThanPipeline(t *testing.T) {
 
 	engS := sim.NewEngine()
 	collS := NewCollector(12, 10, 0)
+	collS.Audit = audit.NewLedger()
 	ser := NewSerial(engS, clus, m, plan, collS)
 	tSer := makespan(ser, ser.Flush)
 
@@ -300,6 +313,9 @@ func TestSerialSlowerThanPipeline(t *testing.T) {
 	}
 	if got := collS.Good.Served + collS.Violations; got != batches*8 {
 		t.Errorf("serial lost samples: %d of %d", got, batches*8)
+	}
+	if err := collS.AuditReport().Err(); err != nil {
+		t.Error(err)
 	}
 }
 
@@ -328,7 +344,7 @@ func TestCollectorSLOAccounting(t *testing.T) {
 	c := NewCollector(4, 0.1, 0)
 	c.Complete(workload.Sample{Arrival: 0, Deadline: 0.1}, 0.05, 4) // ok
 	c.Complete(workload.Sample{Arrival: 0, Deadline: 0.1}, 0.50, 4) // violation
-	c.Drop(workload.Sample{}, 0.5)
+	c.Drop(workload.Sample{}, 0.5, audit.ReasonAdmission)
 	if c.Good.Served != 1 || c.Violations != 1 || c.Dropped != 1 {
 		t.Errorf("served=%d violations=%d dropped=%d", c.Good.Served, c.Violations, c.Dropped)
 	}

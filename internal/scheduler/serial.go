@@ -25,6 +25,9 @@ type Serial struct {
 	coll    *Collector
 	pending [][]workload.Sample
 	running bool
+	// draining forces partial rounds after FlushAll so end-of-run leftovers
+	// smaller than a full round still execute instead of vanishing.
+	draining bool
 }
 
 const serialBarrier = 1e-3
@@ -54,6 +57,14 @@ func (s *Serial) Ingest(batch []workload.Sample) {
 // Flush runs a final partial round.
 func (s *Serial) Flush() { s.tryRound(true) }
 
+// FlushAll implements the serving layer's end-of-run Flusher hook: it
+// keeps forcing partial rounds until the pending queue is empty, so no
+// ingested sample is silently abandoned.
+func (s *Serial) FlushAll() {
+	s.draining = true
+	s.tryRound(true)
+}
+
 func (s *Serial) tryRound(force bool) {
 	g := s.clus.Size()
 	if s.running || len(s.pending) == 0 {
@@ -81,6 +92,7 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 	for _, b := range round {
 		pool = append(pool, b...)
 	}
+	now := s.eng.Now()
 	elapsed := 0.0
 	for si, sp := range s.plan.Splits {
 		if len(pool) == 0 {
@@ -96,13 +108,16 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			if hi > len(pool) {
 				hi = len(pool)
 			}
+			for _, smp := range pool[lo:hi] {
+				s.coll.Audit.Dispatched(smp.ID, now+elapsed, si, i%g)
+			}
 			res := exec.RunSplit(s.model, sp.From, sp.To, pool[lo:hi], spec, s.clus.Devices[i%g].Slowdown)
 			// No pipelining: the boundary handoff sits on the critical path.
 			if d := res.Duration + res.HandoffDelay; d > phaseDur {
 				phaseDur = d
 			}
 			dev := s.clus.Devices[i%g]
-			s.coll.Util.AddBusy(dev.ID, res.Duration)
+			s.coll.Util.AddBusy(dev.ID, now+elapsed, res.Duration)
 			for _, c := range res.Completions {
 				c := c
 				// Completion lands at the end of this phase.
@@ -124,6 +139,6 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 	}
 	s.eng.After(elapsed, func() {
 		s.running = false
-		s.tryRound(false)
+		s.tryRound(s.draining)
 	})
 }

@@ -1,0 +1,47 @@
+package serving
+
+import (
+	"e3/internal/audit"
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/optimizer"
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/trace"
+	"e3/internal/workload"
+)
+
+// AuditedOpenLoop replays an arrival trace through a dynamic batcher with
+// the lifecycle ledger wired end to end (generator → batcher → runner →
+// collector), then verifies conservation: every minted sample must be
+// completed or dropped exactly once, with monotone timestamps and
+// classified drop reasons. The runner is built by mk against the engine
+// and a ledger-carrying collector. It returns the verified report and the
+// collector for further inspection.
+func AuditedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64) (*audit.Report, *scheduler.Collector, error) {
+	eng := sim.NewEngine()
+	coll := scheduler.NewCollector(layers, slo, 0)
+	coll.Audit = audit.NewLedger()
+	r, err := mk(eng, coll)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := workload.NewGenerator(dist, seed)
+	gen.SetAudit(coll.Audit)
+	b := NewBatcher(eng, r, batch, estService, 0.2)
+	c := RunOpenLoop(eng, r, b, arr, gen, slo)
+	return c.AuditReport(), c, nil
+}
+
+// AuditPlan runs a bursty open-loop conservation audit of an E3 plan on
+// the given cluster — the self-check e3-serve performs at boot under
+// -audit before exposing the plan over HTTP.
+func AuditPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
+	avgRate, horizon, slo float64, seed int64) (*audit.Report, error) {
+	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
+	rep, _, err := AuditedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+		return scheduler.NewPipeline(eng, clus, m, plan, coll)
+	}, m.Base.NumLayers(), arr, dist, plan.Latency, slo, plan.Batch, seed)
+	return rep, err
+}

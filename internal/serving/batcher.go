@@ -4,6 +4,9 @@
 package serving
 
 import (
+	"math"
+
+	"e3/internal/audit"
 	"e3/internal/scheduler"
 	"e3/internal/sim"
 	"e3/internal/workload"
@@ -26,8 +29,13 @@ type Batcher struct {
 	// SlackFrac reserves SLO headroom (paper: 20%).
 	SlackFrac float64
 
-	queue    []workload.Sample
-	flushArm bool
+	queue []workload.Sample
+	// flushGen invalidates in-flight flush timers: the sim engine has no
+	// cancellation, so each armed timer captures the generation it was
+	// armed under and fires as a no-op if a dispatch or re-arm superseded
+	// it. flushAt is the fire time of the live timer (+Inf when none).
+	flushGen int
+	flushAt  float64
 }
 
 // NewBatcher wires a dynamic batcher in front of a runner.
@@ -35,17 +43,25 @@ func NewBatcher(eng *sim.Engine, r scheduler.Runner, batch int, estService, slac
 	if batch < 1 {
 		batch = 1
 	}
-	return &Batcher{eng: eng, runner: r, Batch: batch, EstService: estService, SlackFrac: slackFrac}
+	return &Batcher{
+		eng: eng, runner: r, Batch: batch, EstService: estService, SlackFrac: slackFrac,
+		flushAt: math.Inf(1),
+	}
 }
+
+// ledger returns the lifecycle ledger shared through the collector (nil
+// when auditing is off; audit methods are nil-safe).
+func (b *Batcher) ledger() *audit.Ledger { return b.runner.Collector().Audit }
 
 // Arrive accepts one request at the current virtual time.
 func (b *Batcher) Arrive(s workload.Sample) {
 	now := b.eng.Now()
 	if b.deadlineHopeless(s, now) {
-		b.runner.Collector().Drop(s, now)
+		b.runner.Collector().Drop(s, now, audit.ReasonAdmission)
 		return
 	}
 	b.queue = append(b.queue, s)
+	b.ledger().Queued(s.ID, now)
 	if len(b.queue) >= b.Batch {
 		b.dispatch(b.Batch)
 		return
@@ -60,18 +76,30 @@ type backlogged interface {
 	BacklogDelay() float64
 }
 
-// deadlineHopeless reports whether a sample can no longer meet its SLA
-// even if dispatched immediately, accounting for the runner's backlog.
-func (b *Batcher) deadlineHopeless(s workload.Sample, now float64) bool {
+// effectiveService is the expected time from dispatch to completion
+// including the runner's current backlog. Admission control and the flush
+// timer must use the same estimate: if the flush fire time ignored
+// backlog it would fire after queued samples had already become hopeless,
+// shedding load that was viable at arrival.
+func (b *Batcher) effectiveService() float64 {
 	est := b.EstService
 	if bl, ok := b.runner.(backlogged); ok {
 		est += bl.BacklogDelay()
 	}
-	slack := (s.Deadline - now) * (1 - b.SlackFrac)
-	return slack < est
+	return est
 }
 
-// dispatch sends the first n queued samples to the runner.
+// deadlineHopeless reports whether a sample can no longer meet its SLA
+// even if dispatched immediately, accounting for the runner's backlog.
+func (b *Batcher) deadlineHopeless(s workload.Sample, now float64) bool {
+	slack := (s.Deadline - now) * (1 - b.SlackFrac)
+	return slack < b.effectiveService()
+}
+
+// dispatch sends the first n queued samples to the runner and re-arms the
+// flush timer for the new queue head: the old timer tracked the
+// dispatched head's fire time, and with heterogeneous SLOs the new head's
+// forced-dispatch point can be earlier.
 func (b *Batcher) dispatch(n int) {
 	if n > len(b.queue) {
 		n = len(b.queue)
@@ -83,23 +111,51 @@ func (b *Batcher) dispatch(n int) {
 	copy(batch, b.queue[:n])
 	b.queue = b.queue[n:]
 	b.runner.Ingest(batch)
+	b.disarmFlush()
+	b.armFlush()
 }
 
-// armFlush schedules the SLA-pressure check for the queue head.
+// disarmFlush invalidates any in-flight flush timer.
+func (b *Batcher) disarmFlush() {
+	b.flushGen++
+	b.flushAt = math.Inf(1)
+}
+
+// headFireAt is the time the queue head's slack runs down to the
+// effective service estimate — the last moment a partial dispatch keeps
+// its SLA reachable. Fire 2% of the estimate early: at the exact boundary
+// floating-point rounding can land the recomputed slack an ulp below the
+// estimate and the flush would shed the head instead of dispatching it.
+// The early slack (1.02x) sits safely inside the pressure check's 1.05x
+// tolerance, so the flush still dispatches rather than re-arming forever.
+func (b *Batcher) headFireAt() float64 {
+	return b.queue[0].Deadline - 1.02*b.effectiveService()/(1-b.SlackFrac)
+}
+
+// armFlush schedules the SLA-pressure check for the queue head. A live
+// timer that already fires at or before the head's deadline point is kept
+// (an early fire merely re-checks and re-arms); a stale later timer is
+// superseded.
 func (b *Batcher) armFlush() {
-	if b.flushArm || len(b.queue) == 0 {
+	if len(b.queue) == 0 {
 		return
 	}
-	b.flushArm = true
-	head := b.queue[0]
-	// Fire when the head's slack is about to run out.
-	fireAt := head.Deadline - b.EstService/(1-b.SlackFrac)
+	fireAt := b.headFireAt()
+	if b.flushAt <= fireAt {
+		return
+	}
+	b.flushGen++
+	b.flushAt = fireAt
+	gen := b.flushGen
 	delay := fireAt - b.eng.Now()
 	if delay < 0 {
 		delay = 0
 	}
 	b.eng.After(delay, func() {
-		b.flushArm = false
+		if gen != b.flushGen {
+			return // superseded by a dispatch or a re-arm
+		}
+		b.flushAt = math.Inf(1)
 		b.flush()
 	})
 }
@@ -112,7 +168,7 @@ func (b *Batcher) flush() {
 	kept := b.queue[:0]
 	for _, s := range b.queue {
 		if b.deadlineHopeless(s, now) {
-			b.runner.Collector().Drop(s, now)
+			b.runner.Collector().Drop(s, now, audit.ReasonSLAFlush)
 			continue
 		}
 		kept = append(kept, s)
@@ -123,8 +179,9 @@ func (b *Batcher) flush() {
 	}
 	head := b.queue[0]
 	slack := (head.Deadline - now) * (1 - b.SlackFrac)
-	if slack <= b.EstService*1.05 {
-		b.dispatch(b.Batch)
+	if slack <= b.effectiveService()*1.05 {
+		b.dispatch(b.Batch) // dispatch re-arms for the next head
+		return
 	}
 	b.armFlush()
 }

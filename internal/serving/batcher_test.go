@@ -1,0 +1,113 @@
+package serving
+
+import (
+	"testing"
+
+	"e3/internal/scheduler"
+	"e3/internal/sim"
+	"e3/internal/workload"
+)
+
+// fakeRunner records ingested batches against a real collector so batcher
+// tests can observe dispatch/drop decisions without a cluster.
+type fakeRunner struct {
+	coll    *scheduler.Collector
+	batches [][]workload.Sample
+}
+
+func (f *fakeRunner) Ingest(b []workload.Sample)      { f.batches = append(f.batches, b) }
+func (f *fakeRunner) Collector() *scheduler.Collector { return f.coll }
+
+func (f *fakeRunner) ingested() int {
+	n := 0
+	for _, b := range f.batches {
+		n += len(b)
+	}
+	return n
+}
+
+// backloggedRunner additionally reports a fixed queueing delay, like the
+// serial runner does while a round is in flight.
+type backloggedRunner struct {
+	fakeRunner
+	delay float64
+}
+
+func (r *backloggedRunner) BacklogDelay() float64 { return r.delay }
+
+// Regression: a full-batch dispatch must supersede the flush timer armed
+// for the old queue head. The seed left the armed flag set, so a sample
+// arriving right after a dispatch never got its own (earlier) timer and
+// was only examined when the stale timer fired — long past its deadline.
+func TestBatcherRearmsFlushAfterFullDispatch(t *testing.T) {
+	eng := sim.NewEngine()
+	f := &fakeRunner{coll: scheduler.NewCollector(12, 1.0, 0)}
+	b := NewBatcher(eng, f, 2, 0.01, 0.2)
+
+	// A and B fill the batch at t=0 with a lax 1s SLO: the timer armed for
+	// A fires at 0.9875, then the pair dispatches immediately.
+	eng.At(0, func() {
+		b.Arrive(workload.Sample{ID: 1, Arrival: 0, Deadline: 1.0})
+		b.Arrive(workload.Sample{ID: 2, Arrival: 0, Deadline: 1.0})
+	})
+	// C arrives just after with a tight 50ms SLO. Its forced-dispatch
+	// point is t≈0.0385; the stale timer from A fires at 0.9875, when C is
+	// hopeless.
+	eng.At(0.001, func() {
+		b.Arrive(workload.Sample{ID: 3, Arrival: 0.001, Deadline: 0.051})
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.coll.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 (stale flush timer shed a viable sample)", f.coll.Dropped)
+	}
+	if got := f.ingested(); got != 3 {
+		t.Errorf("ingested = %d samples, want 3", got)
+	}
+}
+
+// Regression: the flush fire time must include the runner's backlog, as
+// admission control already does. The seed computed the fire time from
+// EstService alone, so with a backlogged runner the timer fired after the
+// head's effective slack had run out and the flush shed it instead of
+// dispatching it.
+func TestBatcherFlushTimerAccountsForBacklog(t *testing.T) {
+	eng := sim.NewEngine()
+	r := &backloggedRunner{
+		fakeRunner: fakeRunner{coll: scheduler.NewCollector(12, 0.08, 0)},
+		delay:      0.05,
+	}
+	b := NewBatcher(eng, r, 8, 0.01, 0.2)
+
+	// Viable at arrival: slack 0.08·0.8 = 0.064 ≥ effective service 0.06.
+	// The forced-dispatch point with backlog is t=0.005; ignoring backlog
+	// it is t=0.0675, by which time slack (0.01) < 0.06 and the sample is
+	// shed as hopeless.
+	eng.At(0, func() {
+		b.Arrive(workload.Sample{ID: 1, Arrival: 0, Deadline: 0.08})
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.coll.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 (flush timer ignored backlog)", r.coll.Dropped)
+	}
+	if got := r.ingested(); got != 1 {
+		t.Errorf("ingested = %d samples, want 1", got)
+	}
+}
+
+// Regression: closed-loop arrival times must come from an integer counter.
+// The seed accumulated `at += interval` in floating point, so over longer
+// horizons the final batch drifted past the horizon and was dropped:
+// batch=1 at rate 10 over 2s offered 19 batches instead of 20.
+func TestRunClosedLoopOffersExactBatchCount(t *testing.T) {
+	eng := sim.NewEngine()
+	f := &fakeRunner{coll: scheduler.NewCollector(12, 0.1, 0)}
+	gen := workload.NewGenerator(workload.Mix(0.8), 1)
+	RunClosedLoop(eng, f, gen, 1, 10, 2, 0.1)
+	if got, want := len(f.batches), 20; got != want {
+		t.Fatalf("offered %d batches, want %d (float drift dropped the final interval)", got, want)
+	}
+}

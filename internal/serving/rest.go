@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"e3/internal/audit"
 	"e3/internal/ee"
 	"e3/internal/optimizer"
 )
@@ -21,6 +22,9 @@ type API struct {
 
 	served     int
 	exitCounts map[int]int
+	// auditRep is the verified lifecycle report of a boot-time audit run
+	// (nil when the server started without -audit).
+	auditRep *audit.Report
 }
 
 // NewAPI builds the handler set for a planned model.
@@ -132,10 +136,28 @@ func (a *API) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, resp)
 }
 
-// StatsResponse reports live counters.
+// AttachAudit exposes a verified lifecycle audit through /v1/stats.
+func (a *API) AttachAudit(rep *audit.Report) {
+	a.mu.Lock()
+	a.auditRep = rep
+	a.mu.Unlock()
+}
+
+// AuditJSON summarizes a conservation audit for /v1/stats.
+type AuditJSON struct {
+	Samples    int `json:"samples"`
+	Completed  int `json:"completed"`
+	Dropped    int `json:"dropped"`
+	Violations int `json:"violations"`
+}
+
+// StatsResponse reports live counters plus, when the server booted with
+// -audit, the lifecycle ledger's per-reason drop breakdown and verdict.
 type StatsResponse struct {
-	Served     int         `json:"served"`
-	ExitCounts map[int]int `json:"exit_counts"`
+	Served      int            `json:"served"`
+	ExitCounts  map[int]int    `json:"exit_counts"`
+	DropReasons map[string]int `json:"drop_reasons"`
+	Audit       *AuditJSON     `json:"audit,omitempty"`
 }
 
 func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -145,7 +167,19 @@ func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
 	for k, v := range a.exitCounts {
 		counts[k] = v
 	}
-	writeJSON(w, StatsResponse{Served: a.served, ExitCounts: counts})
+	resp := StatsResponse{Served: a.served, ExitCounts: counts, DropReasons: map[string]int{}}
+	if a.auditRep != nil {
+		for reason, n := range a.auditRep.ByReason {
+			resp.DropReasons[string(reason)] = n
+		}
+		resp.Audit = &AuditJSON{
+			Samples:    a.auditRep.Samples,
+			Completed:  a.auditRep.Completed,
+			Dropped:    a.auditRep.Dropped,
+			Violations: len(a.auditRep.Violations),
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

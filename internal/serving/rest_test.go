@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/gpu"
@@ -177,5 +178,50 @@ func TestRESTStats(t *testing.T) {
 	}
 	if total != 5 {
 		t.Errorf("exit counts sum to %d, want 5", total)
+	}
+	// Without a boot-time audit the breakdown is present but empty and the
+	// audit block is omitted.
+	if stats.DropReasons == nil || len(stats.DropReasons) != 0 {
+		t.Errorf("drop_reasons = %v, want empty map", stats.DropReasons)
+	}
+	if stats.Audit != nil {
+		t.Errorf("audit block present without AttachAudit: %+v", stats.Audit)
+	}
+}
+
+func TestRESTStatsAuditBreakdown(t *testing.T) {
+	api := testAPI(t)
+	l := audit.NewLedger()
+	l.Arrived(1, 0)
+	l.Completed(1, 0.01, 12)
+	l.Arrived(2, 0)
+	l.Dropped(2, 0.02, audit.ReasonSLAFlush)
+	l.Arrived(3, 0)
+	l.Dropped(3, 0.03, audit.ReasonSLAFlush)
+	rep := l.Verify()
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	api.AttachAudit(rep)
+
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.DropReasons[string(audit.ReasonSLAFlush)]; got != 2 {
+		t.Errorf("drop_reasons[sla-flush] = %d, want 2", got)
+	}
+	if stats.Audit == nil {
+		t.Fatal("audit block missing after AttachAudit")
+	}
+	if stats.Audit.Samples != 3 || stats.Audit.Completed != 1 || stats.Audit.Dropped != 2 || stats.Audit.Violations != 0 {
+		t.Errorf("audit block = %+v, want {3 1 2 0}", stats.Audit)
 	}
 }

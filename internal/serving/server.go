@@ -36,9 +36,13 @@ func RunOpenLoop(eng *sim.Engine, r scheduler.Runner, b *Batcher, arr trace.Arri
 // (closed-loop clients always have inputs waiting, §4). Samples carry the
 // SLO deadline so goodput accounting matches the paper's definition.
 func RunClosedLoop(eng *sim.Engine, r scheduler.Runner, gen *workload.Generator, batch int, rate, horizon, slo float64) *scheduler.Collector {
+	// Arrival times are multiples of the interval computed from an integer
+	// counter: accumulating `at += interval` drifts by one ulp per step
+	// over long horizons, silently dropping (or adding) the final batch.
 	interval := float64(batch) / rate
-	for at := interval; at <= horizon; at += interval {
-		at := at
+	n := int(horizon/interval + 1e-9)
+	for i := 1; i <= n; i++ {
+		at := float64(i) * interval
 		eng.At(at, func() {
 			r.Ingest(gen.Batch(batch, eng.Now(), slo))
 		})

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/gpu"
@@ -153,13 +154,18 @@ func TestMaxGoodputFindsSustainableRate(t *testing.T) {
 
 func TestRunOpenLoopBursty(t *testing.T) {
 	eng, p, plan, _ := pipelineSetup(t, 16, 8)
+	p.Collector().Audit = audit.NewLedger()
 	b := NewBatcher(eng, p, 8, plan.Latency, 0.2)
 	arr := trace.Bursty(trace.DefaultBursty(800), 20, 7)
 	gen := workload.NewGenerator(workload.Mix(0.8), 7)
+	gen.SetAudit(p.Collector().Audit)
 	c := RunOpenLoop(eng, p, b, arr, gen, 0.1)
 	total := c.Good.Served + c.Violations + c.Dropped
 	if total != len(arr) {
 		t.Fatalf("accounted %d of %d arrivals", total, len(arr))
+	}
+	if err := c.AuditReport().Err(); err != nil {
+		t.Error(err)
 	}
 	if c.Good.Served == 0 {
 		t.Fatal("bursty run served nothing")

@@ -1,6 +1,10 @@
 package workload
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"e3/internal/audit"
+)
 
 // Sample is one inference request.
 type Sample struct {
@@ -16,9 +20,10 @@ type Sample struct {
 // Generator mints samples from a difficulty distribution with sequential
 // IDs. It is deterministic for a fixed seed.
 type Generator struct {
-	dist Dist
-	rng  *rand.Rand
-	next int64
+	dist   Dist
+	rng    *rand.Rand
+	next   int64
+	ledger *audit.Ledger
 }
 
 // NewGenerator builds a seeded generator.
@@ -26,9 +31,14 @@ func NewGenerator(dist Dist, seed int64) *Generator {
 	return &Generator{dist: dist, rng: rand.New(rand.NewSource(seed))}
 }
 
+// SetAudit attaches a lifecycle ledger; every minted sample records an
+// arrival event. A nil ledger disables recording.
+func (g *Generator) SetAudit(l *audit.Ledger) { g.ledger = l }
+
 // Next mints one sample arriving at the given time with the given SLO.
 func (g *Generator) Next(arrival, slo float64) Sample {
 	g.next++
+	g.ledger.Arrived(g.next, arrival)
 	return Sample{
 		ID:         g.next,
 		Difficulty: g.dist.Sample(g.rng),
