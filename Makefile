@@ -1,0 +1,37 @@
+# One-command verification for the builder and CI. `make verify` runs the
+# full recipe in dependency order: cheap structural checks first (build,
+# vet, invariant lint), then the test suites, then the race detector over
+# the event-loop packages, and finally the end-to-end lifecycle
+# conservation audit.
+
+GO ?= go
+
+.PHONY: verify build vet lint test race audit
+
+verify: build vet lint test race audit
+	@echo "verify: all checks passed"
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# e3-lint enforces the simulator invariants (virtual time, seeded
+# randomness, epsilon-safe deadline math, ledger pairing, single-goroutine
+# event loop). See README "Static invariants".
+lint:
+	$(GO) run ./cmd/e3-lint ./...
+
+test:
+	$(GO) test ./...
+
+# The batcher, runners, and collector share ledger state on the event
+# loop; -race keeps the single-goroutine discipline honest at runtime
+# where the eventloop analyzer can only check structure.
+race:
+	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/
+
+# End-to-end conservation audit: exits nonzero on any lifecycle violation.
+audit:
+	$(GO) run ./cmd/e3-bench -audit

@@ -1,0 +1,76 @@
+// Command e3-lint runs the internal/analysis suite — the static checkers
+// that enforce the simulator's virtual-time, determinism, conservation,
+// and single-goroutine invariants — over the repository's packages.
+//
+// Usage:
+//
+//	e3-lint [-list] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 0 when the tree is clean, 1 when any analyzer reports a
+// diagnostic, and 2 on a load or usage error, mirroring go vet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"e3/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: e3-lint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the e3 invariant analyzers (default packages: ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewModuleLoader(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
+	for _, d := range diags {
+		d.Pos.Filename = relPath(wd, d.Pos.Filename)
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "e3-lint: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// relPath shortens filenames to working-directory-relative form when that
+// is cleaner; diagnostics stay clickable either way.
+func relPath(wd, path string) string {
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || len(rel) >= len(path) {
+		return path
+	}
+	return rel
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "e3-lint:", err)
+	os.Exit(2)
+}

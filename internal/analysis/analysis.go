@@ -1,0 +1,279 @@
+// Package analysis is e3-lint: a suite of static analyzers that
+// mechanically enforce the simulator's unwritten invariants — virtual time
+// only, seeded randomness, epsilon-safe deadline math, ledger-paired
+// terminal accounting, and single-goroutine event-loop discipline. Every
+// bug PR 1's lifecycle ledger flushed out at runtime was a violation of
+// one of these rules; the analyzers turn them into build-time errors.
+//
+// The package deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer, Pass, Diagnostic) but is built on the standard library's
+// go/ast + go/types alone, because this repository vendors no third-party
+// modules. Analyzers therefore run through cmd/e3-lint (a multichecker)
+// and through the analysistest-style harness in this package's tests,
+// rather than via go vet -vettool.
+//
+// # Escape hatches
+//
+// Each analyzer honours a directive comment that exempts one line (or,
+// for ledgerpair, one function). Directives take the form
+//
+//	//e3:<name> <reason>
+//
+// placed on the flagged line, the line immediately above it, or — for
+// function-scoped directives — in the function's doc comment. The
+// recognised names are wallclock (virtualtime), exactfloat
+// (floatdeadline), unseeded (seededrand), noledger (ledgerpair, reason
+// required) and concurrent (eventloop). Reasons are free text but should
+// say why the invariant does not apply, since the directive is the only
+// record reviewers get.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Analyzer names the reporting analyzer.
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional path:line:col: [name] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -list output.
+	Name string
+	// Doc is a one-paragraph description: the invariant, the past bug that
+	// motivated it, and the escape hatch.
+	Doc string
+	// Applies reports whether the analyzer inspects the package with the
+	// given import path. Analyzers are scoped because the invariants are
+	// domain rules (wall-clock time is fine in cmd/, not in sim/).
+	Applies func(importPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzed package to an analyzer, mirroring
+// x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	directives map[string][]directive // filename -> line-sorted directives
+	report     func(Diagnostic)
+}
+
+// directive is one parsed //e3:<name> <reason> comment.
+type directive struct {
+	line   int
+	name   string
+	reason string
+}
+
+const directivePrefix = "e3:"
+
+// newPass builds a pass over pkg for a, indexing escape-hatch directives.
+func newPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
+	p := &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		Info:       pkg.Info,
+		directives: make(map[string][]directive),
+		report:     report,
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				body := strings.TrimPrefix(text, directivePrefix)
+				name, reason, _ := strings.Cut(body, " ")
+				pos := p.Fset.Position(c.Pos())
+				p.directives[pos.Filename] = append(p.directives[pos.Filename], directive{
+					line:   pos.Line,
+					name:   name,
+					reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	for _, ds := range p.directives {
+		sort.Slice(ds, func(i, j int) bool { return ds[i].line < ds[j].line })
+	}
+	return p
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directiveAt returns the directive with the given name on exactly the
+// given file line, if any.
+func (p *Pass) directiveAt(filename string, line int, name string) (directive, bool) {
+	for _, d := range p.directives[filename] {
+		if d.line == line && d.name == name {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// Exempted reports whether the node at pos carries the named directive on
+// its own line or on the line immediately above (a leading comment).
+func (p *Pass) Exempted(pos token.Pos, name string) bool {
+	position := p.Fset.Position(pos)
+	if _, ok := p.directiveAt(position.Filename, position.Line, name); ok {
+		return true
+	}
+	_, ok := p.directiveAt(position.Filename, position.Line-1, name)
+	return ok
+}
+
+// FuncDirective looks for the named directive attached to a function
+// declaration: in its doc comment or on the declaration line itself. It
+// returns the directive's reason and whether it was found.
+func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) (reason string, ok bool) {
+	declPos := p.Fset.Position(fn.Pos())
+	if d, found := p.directiveAt(declPos.Filename, declPos.Line, name); found {
+		return d.reason, true
+	}
+	if fn.Doc != nil {
+		start := p.Fset.Position(fn.Doc.Pos()).Line
+		end := p.Fset.Position(fn.Doc.End()).Line
+		for _, d := range p.directives[declPos.Filename] {
+			if d.line >= start && d.line <= end && d.name == name {
+				return d.reason, true
+			}
+		}
+	}
+	return "", false
+}
+
+// PkgFuncCall reports whether call is a direct selector call of a
+// package-level function, returning the package path and function name.
+// It resolves the receiver through the type checker, so a local variable
+// shadowing an import name does not false-positive.
+func (p *Pass) PkgFuncCall(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	ident, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := p.Info.Uses[ident].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// MethodCall resolves a selector call to its method object, returning the
+// defining package path, the receiver's named type, and the method name.
+func (p *Pass) MethodCall(call *ast.CallExpr) (pkgPath, recvType, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	obj, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || obj.Pkg() == nil {
+		return "", "", "", false
+	}
+	sig, isSig := obj.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	rt := sig.Recv().Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", "", false
+	}
+	return obj.Pkg().Path(), named.Obj().Name(), obj.Name(), true
+}
+
+// IsFloat64 reports whether the expression's type is float64 (through any
+// alias, e.g. sim.Time).
+func (p *Pass) IsFloat64(e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Float64
+}
+
+// scope builds an Applies predicate from an explicit import-path list.
+func scope(paths ...string) func(string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(importPath string) bool { return set[importPath] }
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		VirtualTime,
+		FloatDeadline,
+		SeededRand,
+		LedgerPair,
+		EventLoop,
+	}
+}
+
+// RunAnalyzers applies every analyzer whose scope matches to each package
+// and returns the findings sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+				continue
+			}
+			a.Run(newPass(a, pkg, collect))
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		if diags[i].Pos.Column != diags[j].Pos.Column {
+			return diags[i].Pos.Column < diags[j].Pos.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}

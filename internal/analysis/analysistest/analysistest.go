@@ -1,0 +1,164 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone.
+//
+// Fixtures live in a GOPATH-style tree (testdata/src/<suite>/): import
+// path "e3/internal/sim" resolves to <root>/e3/internal/sim, so fixture
+// packages occupy the same import paths as the real ones and exercise the
+// analyzers' package scoping for free. A line expecting a diagnostic
+// carries a comment of the form
+//
+//	expr // want `regexp` `another regexp`
+//
+// with each pattern quoted by backquotes or double quotes. Every expected
+// pattern must be matched by a diagnostic on that line, and every
+// diagnostic must match an expectation, or the test fails. This is what
+// keeps the analyzers honest: gutting one leaves its fixtures' want
+// comments unmatched and fails the suite.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"e3/internal/analysis"
+)
+
+// expectation is one // want pattern at a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture import path from the GOPATH-style tree at root,
+// applies the analyzer, and checks diagnostics against // want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	loader := analysis.NewTreeLoader(root)
+	var pkgs []*analysis.Package
+	for _, path := range importPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+			t.Fatalf("fixture %s is outside analyzer %s's scope; the test would pass vacuously", path, a.Name)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ws, err := parseWants(pkg, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants = append(wants, ws...)
+		}
+	}
+
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation that accepts the diagnostic.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts // want expectations from one fixture file.
+func parseWants(pkg *analysis.Package, f *ast.File) ([]*expectation, error) {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			patterns, err := splitPatterns(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want comment: %w", pos.Filename, pos.Line, err)
+			}
+			if len(patterns) == 0 {
+				return nil, fmt.Errorf("%s:%d: want comment lists no patterns", pos.Filename, pos.Line)
+			}
+			for _, p := range patterns {
+				rx, err := regexp.Compile(p)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: rx})
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitPatterns parses a sequence of backquoted or double-quoted strings.
+func splitPatterns(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated backquote in %q", s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		case '"':
+			// Re-use Go string syntax for escapes.
+			val, rest, err := unquotePrefix(s)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, val)
+			s = strings.TrimSpace(rest)
+		default:
+			return nil, fmt.Errorf("want patterns must be quoted, got %q", s)
+		}
+	}
+	return out, nil
+}
+
+// unquotePrefix unquotes the leading double-quoted Go string literal and
+// returns the remainder.
+func unquotePrefix(s string) (val, rest string, err error) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			val, err := strconv.Unquote(s[:i+1])
+			return val, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quote in %q", s)
+}

@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"e3/internal/analysis"
+	"e3/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over a fixture tree whose bad cases mirror the real
+// bugs PR 1's runtime audits caught. If an analyzer is gutted, its
+// fixtures' want comments go unmatched and the test fails — the suite
+// guards itself.
+
+func TestVirtualTime(t *testing.T) {
+	analysistest.Run(t, "testdata/src/virtualtime", analysis.VirtualTime, "e3/internal/sim")
+}
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/seededrand", analysis.SeededRand, "e3/internal/workload")
+}
+
+func TestFloatDeadline(t *testing.T) {
+	analysistest.Run(t, "testdata/src/floatdeadline", analysis.FloatDeadline, "e3/internal/serving")
+}
+
+func TestLedgerPair(t *testing.T) {
+	analysistest.Run(t, "testdata/src/ledgerpair", analysis.LedgerPair, "e3/internal/scheduler")
+}
+
+func TestEventLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/eventloop", analysis.EventLoop, "e3/internal/scheduler")
+}
+
+// TestScoping pins the intent of each analyzer's package scope: the
+// simulation domain is covered, the wall-clock edges (cmd/, examples/)
+// are not.
+func TestScoping(t *testing.T) {
+	cases := []struct {
+		a   *analysis.Analyzer
+		in  []string
+		out []string
+	}{
+		{analysis.VirtualTime,
+			[]string{"e3/internal/sim", "e3/internal/serving", "e3/internal/audit", "e3/internal/experiments"},
+			[]string{"e3/cmd/e3-bench", "e3/internal/optimizer", "e3"}},
+		{analysis.SeededRand,
+			[]string{"e3/internal/workload", "e3/internal/forecast", "e3/internal/trace"},
+			[]string{"e3/cmd/e3-bench", "e3/internal/analysis"}},
+		{analysis.FloatDeadline,
+			[]string{"e3/internal/sim", "e3/internal/serving", "e3/internal/metrics"},
+			[]string{"e3/internal/workload", "e3/cmd/e3-serve"}},
+		{analysis.LedgerPair,
+			[]string{"e3/internal/scheduler", "e3/internal/serving"},
+			[]string{"e3/internal/metrics", "e3/internal/audit"}},
+		{analysis.EventLoop,
+			[]string{"e3/internal/sim", "e3/internal/scheduler", "e3/internal/serving"},
+			[]string{"e3/internal/multi", "e3/cmd/e3-serve"}},
+	}
+	for _, c := range cases {
+		for _, p := range c.in {
+			if !c.a.Applies(p) {
+				t.Errorf("%s should apply to %s", c.a.Name, p)
+			}
+		}
+		for _, p := range c.out {
+			if c.a.Applies(p) {
+				t.Errorf("%s should not apply to %s", c.a.Name, p)
+			}
+		}
+	}
+}

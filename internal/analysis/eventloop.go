@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// syncPrimitives are the sync types whose presence implies shared-memory
+// concurrency. Once/Pool are tolerated: they are initialization and
+// allocation tools, not cross-goroutine protocols.
+var syncPrimitives = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Cond":      true,
+	"Map":       true,
+}
+
+// EventLoop makes the simulator's single-goroutine discipline structural.
+// The sim engine, runners, batcher, and collector all mutate shared state
+// with no synchronization, on the explicit contract that every callback
+// runs on the event loop's goroutine. ROADMAP's race-detector recipe
+// checks that contract probabilistically; this analyzer checks it at
+// build time by forbidding the constructs that would introduce a second
+// goroutine or pretend to tolerate one: go statements, channel types and
+// operations, select, and sync primitives. The REST front end is the one
+// legitimate concurrent edge (net/http runs handlers on its own
+// goroutines) and carries //e3:concurrent where it guards its counters.
+var EventLoop = &Analyzer{
+	Name: "eventloop",
+	Doc: "forbid goroutines, channels, select, and sync primitives inside " +
+		"event-loop-owned packages; all simulator state is single-goroutine " +
+		"by contract. Escape hatch: //e3:concurrent <reason>.",
+	Applies: scope(
+		"e3/internal/sim",
+		"e3/internal/scheduler",
+		"e3/internal/serving",
+	),
+	Run: runEventLoop,
+}
+
+func runEventLoop(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				reportEventLoop(pass, n.Pos(), "go statement starts a second goroutine")
+			case *ast.SendStmt:
+				reportEventLoop(pass, n.Pos(), "channel send")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					reportEventLoop(pass, n.Pos(), "channel receive")
+				}
+			case *ast.SelectStmt:
+				reportEventLoop(pass, n.Pos(), "select statement")
+			case *ast.ChanType:
+				reportEventLoop(pass, n.Pos(), "channel type")
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						reportEventLoop(pass, n.Pos(), "range over a channel")
+					}
+				}
+			case *ast.SelectorExpr:
+				if pn, ok := identPkg(pass, n.X); ok && pn == "sync" && syncPrimitives[n.Sel.Name] {
+					reportEventLoop(pass, n.Pos(), "sync."+n.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportEventLoop(pass *Pass, pos token.Pos, what string) {
+	if pass.Exempted(pos, "concurrent") {
+		return
+	}
+	pass.Reportf(pos,
+		"%s inside an event-loop-owned package breaks the single-goroutine contract the unsynchronized simulator state depends on (annotate //e3:concurrent <reason> for a real concurrent edge)",
+		what)
+}
+
+// identPkg resolves an expression to the import path of the package it
+// names, if it is a package reference.
+func identPkg(pass *Pass, e ast.Expr) (string, bool) {
+	ident, ok := e.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}

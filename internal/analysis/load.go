@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages without the go/packages driver:
+// in-tree packages are resolved from source by import path, everything
+// else falls through to the standard library's source importer (which
+// type-checks GOROOT from source, so no pre-built export data or network
+// is needed). Test files are skipped — the invariants govern shipped
+// simulator code, and external _test packages would complicate the type
+// universe for no enforcement gain.
+type Loader struct {
+	Fset *token.FileSet
+
+	// root is the directory that anchors in-tree import paths.
+	root string
+	// modulePath is the module prefix ("e3") in module mode; empty in
+	// tree mode (testdata fixtures), where import paths are plain
+	// root-relative directories.
+	modulePath string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewModuleLoader roots a loader at the module containing dir. It reads
+// the module path from go.mod, so "e3/internal/sim" resolves to
+// <moduleRoot>/internal/sim.
+func NewModuleLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(root)
+	l.modulePath = modPath
+	return l, nil
+}
+
+// NewTreeLoader roots a loader at a GOPATH-style source tree (the
+// analysistest fixture layout): import path "e3/internal/sim" resolves to
+// <root>/e3/internal/sim.
+func NewTreeLoader(root string) *Loader {
+	return newLoader(root)
+}
+
+func newLoader(root string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		root:    root,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, readErr := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if readErr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, found := strings.CutPrefix(line, "module "); found {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to a directory inside the loader's tree, or
+// reports that the path is external (stdlib).
+func (l *Loader) dirFor(importPath string) (string, bool) {
+	if l.modulePath != "" {
+		if importPath == l.modulePath {
+			return l.root, true
+		}
+		if rest, ok := strings.CutPrefix(importPath, l.modulePath+"/"); ok {
+			return filepath.Join(l.root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(importPath))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// Import implements types.Importer, chaining in-tree resolution ahead of
+// the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load type-checks the package at the given import path (and,
+// recursively, its in-tree dependencies).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	dir, ok := l.dirFor(importPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: import path %q is outside the loader's tree", importPath)
+	}
+	return l.load(importPath, dir)
+}
+
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, done := l.pkgs[importPath]; done {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test Go file in dir, comments included (the
+// directives live there).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Expand resolves package patterns ("./...", "./internal/sim", import
+// paths) to the import paths of every matching in-tree package that
+// contains non-test Go files. Directories named testdata, hidden
+// directories, and the analyzers' own fixture trees are skipped, matching
+// the go tool's convention.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var paths []string
+	seen := make(map[string]bool)
+	add := func(importPath string) {
+		if !seen[importPath] {
+			seen[importPath] = true
+			paths = append(paths, importPath)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if err := l.walkTree(l.root, add); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			dir, err := l.patternDir(base)
+			if err != nil {
+				return nil, err
+			}
+			if err := l.walkTree(dir, add); err != nil {
+				return nil, err
+			}
+		default:
+			dir, err := l.patternDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			importPath, ok := l.importPathFor(dir)
+			if !ok {
+				return nil, fmt.Errorf("analysis: %s is outside the source tree", pat)
+			}
+			if hasGoFiles(dir) {
+				add(importPath)
+			}
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// patternDir resolves a non-wildcard pattern to a directory: "./x" and
+// "x" are root-relative, import paths go through dirFor.
+func (l *Loader) patternDir(pat string) (string, error) {
+	if dir, ok := l.dirFor(pat); ok {
+		return dir, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("analysis: pattern %q matches no directory", pat)
+}
+
+// importPathFor inverts dirFor.
+func (l *Loader) importPathFor(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	rel = filepath.ToSlash(rel)
+	if l.modulePath != "" {
+		if rel == "." {
+			return l.modulePath, true
+		}
+		return l.modulePath + "/" + rel, true
+	}
+	return rel, true
+}
+
+func (l *Loader) walkTree(start string, add func(string)) error {
+	return filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			if importPath, ok := l.importPathFor(path); ok {
+				add(importPath)
+			}
+		}
+		return nil
+	})
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadPatterns expands patterns and loads every matched package,
+// returning them in import-path order.
+func (l *Loader) LoadPatterns(patterns []string) ([]*Package, error) {
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

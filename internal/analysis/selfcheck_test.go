@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"e3/internal/analysis"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over this
+// repository's own source tree, exactly as cmd/e3-lint does. Because it
+// lives in go test ./..., a future invariant violation fails tier-1
+// verification even when nobody remembers to run the lint step by hand.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewModuleLoader(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the pattern expansion is dropping most of the tree", len(pkgs))
+	}
+	diags := analysis.RunAnalyzers(pkgs, analysis.All())
+	for _, d := range diags {
+		if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		t.Errorf("invariant violation: %s", d)
+	}
+}

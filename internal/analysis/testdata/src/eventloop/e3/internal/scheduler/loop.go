@@ -1,0 +1,52 @@
+// Fixture for the eventloop analyzer: the constructs that would break
+// the simulator's single-goroutine contract, which the race detector
+// only catches probabilistically.
+package scheduler
+
+import "sync"
+
+type runner struct {
+	mu sync.Mutex // want `sync\.Mutex inside an event-loop-owned package`
+	ch chan int   // want `channel type`
+}
+
+func badSpawn(fn func()) {
+	go fn() // want `go statement starts a second goroutine`
+}
+
+func badSend(r *runner, v int) {
+	r.ch <- v // want `channel send`
+}
+
+func badRecv(r *runner) int {
+	return <-r.ch // want `channel receive`
+}
+
+func badSelect(r *runner) {
+	select { // want `select statement`
+	case <-r.ch: // want `channel receive`
+	}
+}
+
+func badRange(r *runner) {
+	for range r.ch { // want `range over a channel`
+	}
+}
+
+func badWaitGroup() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup`
+	wg.Wait()
+}
+
+// okAnnotated is the REST-edge escape hatch.
+func okAnnotated() {
+	var mu sync.Mutex //e3:concurrent guards counters read from net/http handler goroutines
+	mu.Lock()
+	mu.Unlock()
+}
+
+// okOnce: sync.Once is initialization, not a cross-goroutine protocol.
+func okOnce() {
+	var once sync.Once
+	once.Do(func() {})
+}

@@ -1,0 +1,50 @@
+// Fixture for the floatdeadline analyzer. The bad cases are the two PR 1
+// bug shapes verbatim: the closed-loop driver's epsilon-free
+// int(horizon/interval) step count that dropped the final batch, and
+// exact equality on deadline-domain float64s at a flush boundary.
+package serving
+
+type sample struct {
+	Arrival, Deadline float64
+}
+
+type ev struct{ at float64 }
+
+// badStepCount is the old closed-loop bug: float drift rounds the ratio
+// to 99.999…, truncation loses the last step.
+func badStepCount(horizon, interval float64) int {
+	return int(horizon / interval) // want `truncating integer conversion of a virtual-time ratio`
+}
+
+// okEpsilonStepCount is the shipped fix.
+func okEpsilonStepCount(horizon, interval float64) int {
+	return int(horizon/interval + 1e-9)
+}
+
+func badExactDeadline(s sample, now float64) bool {
+	return now == s.Deadline // want `exact == on virtual-time float64`
+}
+
+func badExactFlush(flushAt, fireAt float64) bool {
+	return flushAt != fireAt // want `exact != on virtual-time float64`
+}
+
+func badExactTieBreak(x, y ev) bool {
+	return x.at == y.at // want `exact == on virtual-time float64`
+}
+
+// okExactTieBreak mirrors the sim engine's annotated heap comparison.
+func okExactTieBreak(x, y ev) bool {
+	return x.at != y.at //e3:exactfloat heap tie-break needs bitwise equality
+}
+
+// okOrdering: boundary orderings are fine; only exact equality and
+// truncation are ulp-fragile in a way an ordering is not.
+func okOrdering(s sample, now float64) bool { return now <= s.Deadline }
+
+// okCount: float equality on non-time quantities is someone else's
+// business.
+func okCount(total float64) bool { return total == 0 }
+
+// okIntOfPlainRatio: ratios of non-time floats are not flagged.
+func okIntOfPlainRatio(sum, weight float64) int { return int(sum / weight) }

@@ -1,0 +1,15 @@
+// Stub of the real audit package: just enough surface for the ledgerpair
+// fixtures to type-check.
+package audit
+
+// Reason classifies why a sample was dropped.
+type Reason string
+
+// Ledger records lifecycle events.
+type Ledger struct{}
+
+// Completed records execution finishing.
+func (l *Ledger) Completed(id int64, at float64, exitLayer int) {}
+
+// Dropped records the sample being shed.
+func (l *Ledger) Dropped(id int64, at float64, reason Reason) {}

@@ -1,0 +1,46 @@
+// Fixture for the seededrand analyzer. The bad cases mirror the
+// reproducibility bug: drawing workload randomness from the global
+// math/rand source, so two same-seed runs produce different traces.
+package workload
+
+import "math/rand"
+
+// badGlobalDraw samples a difficulty from the process-global source.
+func badGlobalDraw() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the global math/rand source`
+}
+
+func badGlobalIntn(n int) int {
+	return rand.Intn(n) // want `rand\.Intn draws from the global math/rand source`
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle draws from the global math/rand source`
+}
+
+// okSeeded constructs and draws from an injected seeded source — the
+// sanctioned pattern; rand.New and rand.NewSource are not flagged.
+func okSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func okThreaded(rng *rand.Rand) float64 {
+	return rng.NormFloat64()
+}
+
+// localRand proves the check is type-driven, not textual: a variable
+// named rand shadowing the import is not the global source.
+type localRand struct{}
+
+func (localRand) Intn(n int) int { return n - 1 }
+
+func okShadowed() int {
+	rand := localRand{}
+	return rand.Intn(5)
+}
+
+// okAnnotated is the escape hatch.
+func okAnnotated() float64 {
+	return rand.Float64() //e3:unseeded jitter for a log-noise demo, never measured
+}

@@ -1,0 +1,40 @@
+// Fixture for the virtualtime analyzer. The bad cases mirror the
+// pre-ledger batcher bug class: wall-clock reads and timers driving
+// simulation-domain logic.
+package sim
+
+import "time"
+
+// badNow couples a virtual timestamp to host speed.
+func badNow() float64 {
+	return float64(time.Now().UnixNano()) / 1e9 // want `time\.Now reads the wall clock`
+}
+
+// badElapsed measures simulated work with the machine clock.
+func badElapsed(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since reads the wall clock`
+}
+
+// badFlushTimer arms a real timer where a sim-engine event belongs — the
+// exact shape of the old flush-timer bug.
+func badFlushTimer(d time.Duration, fn func()) *time.Timer {
+	return time.AfterFunc(d, fn) // want `time\.AfterFunc reads the wall clock`
+}
+
+func badSleep(d time.Duration) {
+	time.Sleep(d) // want `time\.Sleep reads the wall clock`
+}
+
+// okAnnotated is a sanctioned wall-clock read at a real edge.
+func okAnnotated() time.Time {
+	return time.Now() //e3:wallclock run-duration logging at the CLI edge
+}
+
+// okAnnotatedAbove carries the directive on the preceding line.
+func okAnnotatedAbove() time.Time {
+	//e3:wallclock run-duration logging at the CLI edge
+	return time.Now()
+}
+
+// okDuration uses the time package without touching the clock.
+func okDuration(d time.Duration) float64 { return d.Seconds() }

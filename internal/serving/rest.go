@@ -16,7 +16,10 @@ import (
 // the input's difficulty (the simulation's stand-in for input content);
 // the response reports the exit decision and the plan-predicted latency.
 type API struct {
-	mu    sync.Mutex
+	// net/http runs each handler on its own goroutine, so the REST edge is
+	// the one place in serving that is genuinely concurrent; the mutex
+	// guards only the API's own counters, never event-loop state.
+	mu    sync.Mutex //e3:concurrent net/http handlers run on server goroutines
 	model *ee.EEModel
 	plan  optimizer.Plan
 

@@ -29,7 +29,11 @@ type eventHeap []*event
 func (h eventHeap) Len() int { return len(h) }
 
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
+	// Exactness is the point: two events are simultaneous only when their
+	// timestamps are bit-identical, and then insertion order breaks the
+	// tie. An epsilon here would merge close-but-distinct times and
+	// reorder causally dependent events.
+	if h[i].at != h[j].at { //e3:exactfloat heap tie-break needs bitwise equality
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq

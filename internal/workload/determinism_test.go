@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"e3/internal/trace"
+)
+
+// encodeSamples serializes a sample stream to bytes so reproducibility is
+// asserted bit-for-bit, not merely to within float tolerance: the
+// seededrand invariant promises byte-identical traces for a fixed seed,
+// and an epsilon-equal comparison would hide a drifting source.
+func encodeSamples(samples []Sample) []byte {
+	var buf bytes.Buffer
+	for _, s := range samples {
+		binary.Write(&buf, binary.LittleEndian, s.ID)
+		binary.Write(&buf, binary.LittleEndian, math.Float64bits(s.Difficulty))
+		binary.Write(&buf, binary.LittleEndian, math.Float64bits(s.Arrival))
+		binary.Write(&buf, binary.LittleEndian, math.Float64bits(s.Deadline))
+	}
+	return buf.Bytes()
+}
+
+// generate mints a workload that exercises every stochastic path: a
+// mixture draw per sample, a mid-stream distribution switch (§5.4's
+// 80/20 → 20/80 shift), and both Next and Batch minting.
+func generate(seed int64) []Sample {
+	g := NewGenerator(Mix(0.8), seed)
+	var out []Sample
+	for i := 0; i < 500; i++ {
+		out = append(out, g.Next(float64(i)*0.01, 0.1))
+	}
+	g.SwitchDist(Mix(0.2))
+	out = append(out, g.Batch(500, 5.0, 0.1)...)
+	return out
+}
+
+// TestSameSeedByteIdentical is the reproducibility regression the
+// seededrand analyzer enforces statically: two generators with the same
+// seed and config must produce byte-identical sample streams. If any
+// stage of workload generation starts drawing from the global math/rand
+// source (or any other per-process state), this fails.
+func TestSameSeedByteIdentical(t *testing.T) {
+	a := encodeSamples(generate(42))
+	b := encodeSamples(generate(42))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same-seed workload runs diverged: %d vs %d bytes, first diff at %d",
+			len(a), len(b), firstDiff(a, b))
+	}
+	// Different seeds must actually differ, or the equality above proves
+	// nothing about the generator.
+	c := encodeSamples(generate(43))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical streams; the seed is not reaching the source")
+	}
+}
+
+// TestSameSeedArrivalTraces extends the guarantee to the arrival-process
+// generators the benchmarks drive workloads with.
+func TestSameSeedArrivalTraces(t *testing.T) {
+	mk := func(seed int64) []byte {
+		var buf bytes.Buffer
+		for _, at := range trace.Poisson(200, 10, seed) {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(at))
+		}
+		for _, at := range trace.Bursty(trace.DefaultBursty(200), 10, seed) {
+			binary.Write(&buf, binary.LittleEndian, math.Float64bits(at))
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(mk(7), mk(7)) {
+		t.Fatal("same-seed arrival traces diverged")
+	}
+	if bytes.Equal(mk(7), mk(8)) {
+		t.Fatal("different-seed arrival traces identical")
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
