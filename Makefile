@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race audit
+.PHONY: verify build vet lint test race audit overhead
 
-verify: build vet lint test race audit
+verify: build vet lint test race audit overhead
 	@echo "verify: all checks passed"
 
 build:
@@ -35,3 +35,9 @@ race:
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
 	$(GO) run ./cmd/e3-bench -audit
+
+# Telemetry overhead gate: ring-traced demo runs must stay within a
+# bounded wall-clock factor of untraced runs. Env-gated so plain
+# `go test ./...` stays fast and timing-noise-free.
+overhead:
+	E3_OVERHEAD_GATE=1 $(GO) test ./internal/telemetry/ -run TestTelemetryOverheadGate -v

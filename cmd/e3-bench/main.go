@@ -6,15 +6,19 @@
 //	e3-bench -fig fig07            # run one experiment
 //	e3-bench -all                  # run everything (several minutes)
 //	e3-bench fig07 fig12 fig19     # run a selection
+//	e3-bench -trace-out demo.json  # export a Perfetto-loadable timeline
+//	e3-bench -bench-out bench.json # machine-readable perf + overhead stats
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"e3/internal/experiments"
+	"e3/internal/telemetry"
 )
 
 func main() {
@@ -23,6 +27,8 @@ func main() {
 	all := flag.Bool("all", false, "run every registered experiment")
 	auditRun := flag.Bool("audit", false, "run the lifecycle conservation audit (bursty open loop, all runners); exits nonzero on violations")
 	format := flag.String("format", "table", "output format: table or csv")
+	traceOut := flag.String("trace-out", "", "run the traced demo and write its Chrome trace-event timeline to FILE (load at ui.perfetto.dev); exits nonzero if the run fails its audit")
+	benchOut := flag.String("bench-out", "", "run the traced demo and write machine-readable stats (throughput, latency quantiles, per-split utilization, telemetry overhead) to FILE")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
@@ -34,6 +40,23 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *traceOut != "" || *benchOut != "" {
+		exit := 0
+		if *traceOut != "" {
+			if err := exportTrace(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "e3-bench:", err)
+				exit = 1
+			}
+		}
+		if *benchOut != "" {
+			if err := exportBench(*benchOut); err != nil {
+				fmt.Fprintln(os.Stderr, "e3-bench:", err)
+				exit = 1
+			}
+		}
+		os.Exit(exit)
 	}
 
 	if *auditRun {
@@ -86,4 +109,145 @@ func main() {
 		}
 	}
 	os.Exit(exit)
+}
+
+// demoHorizon is virtual seconds of bursty arrivals for the traced demo
+// (the audit experiment's setting).
+const demoHorizon = 10.0
+
+// exportTrace runs the traced demo with an unbounded tracer and writes
+// the full span timeline as Chrome trace-event JSON, printing the
+// per-split occupancy summary and the audit verdict.
+func exportTrace(path string) error {
+	tr := telemetry.New()
+	rep, _, plan, err := experiments.RunTracedDemo(tr, demoHorizon)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChrome(f, tr.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("plan: %s\n", plan)
+	telemetry.Summarize(tr.Spans()).Print(os.Stdout)
+	fmt.Printf("%s\n", rep)
+	fmt.Printf("wrote %d spans to %s\n", len(tr.Spans()), path)
+	return rep.Err()
+}
+
+// benchSplit is one split's occupancy in the bench report.
+type benchSplit struct {
+	Split     int     `json:"split"`
+	GPUs      int     `json:"gpus"`
+	Util      float64 `json:"utilization"`
+	BubbleS   float64 `json:"bubble_gpu_seconds"`
+	MeanBatch float64 `json:"mean_batch"`
+}
+
+// benchReport is the machine-readable -bench-out payload.
+type benchReport struct {
+	Experiment      string       `json:"experiment"`
+	HorizonVirtualS float64      `json:"horizon_virtual_s"`
+	Samples         int          `json:"samples"`
+	Completed       int          `json:"completed"`
+	Dropped         int          `json:"dropped"`
+	ThroughputRPS   float64      `json:"throughput_rps"`
+	P50MS           float64      `json:"p50_ms"`
+	P99MS           float64      `json:"p99_ms"`
+	Splits          []benchSplit `json:"splits"`
+	// Wall-clock cost of the demo run with telemetry off vs. with a
+	// 4096-span ring attached (best of three), and the relative overhead.
+	UntracedWallMS       float64 `json:"untraced_wall_ms"`
+	TracedWallMS         float64 `json:"traced_wall_ms"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+}
+
+// bestOfWall times fn three times and returns the fastest wall-clock
+// duration in milliseconds.
+func bestOfWall(fn func() error) (float64, error) {
+	best := 0.0
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if ms := time.Since(start).Seconds() * 1e3; i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return best, nil
+}
+
+// exportBench measures the traced demo and writes the JSON report.
+func exportBench(path string) error {
+	// Stats run: unbounded tracer for the occupancy summary.
+	tr := telemetry.New()
+	rep, coll, _, err := experiments.RunTracedDemo(tr, demoHorizon)
+	if err != nil {
+		return err
+	}
+	if err := rep.Err(); err != nil {
+		return err
+	}
+	out := benchReport{
+		Experiment:      "traced-demo (BERT-Base DeeBERT, V100x8, bursty open loop)",
+		HorizonVirtualS: demoHorizon,
+		Samples:         rep.Samples,
+		Completed:       rep.Completed,
+		Dropped:         rep.Dropped,
+		ThroughputRPS:   float64(rep.Completed) / demoHorizon,
+		P50MS:           coll.Lat.Quantile(0.50) * 1e3,
+		P99MS:           coll.Lat.Quantile(0.99) * 1e3,
+	}
+	for _, sp := range telemetry.Summarize(tr.Spans()).Splits {
+		out.Splits = append(out.Splits, benchSplit{
+			Split: sp.Stage, GPUs: sp.Tracks, Util: sp.Util,
+			BubbleS: sp.Bubble, MeanBatch: sp.MeanBatch,
+		})
+	}
+
+	// Overhead runs: telemetry off vs. the live-serving ring config.
+	off, err := bestOfWall(func() error {
+		_, _, _, err := experiments.RunTracedDemo(nil, demoHorizon)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	on, err := bestOfWall(func() error {
+		_, _, _, err := experiments.RunTracedDemo(telemetry.NewRing(4096), demoHorizon)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	out.UntracedWallMS = off
+	out.TracedWallMS = on
+	if off > 0 {
+		out.TelemetryOverheadPct = (on - off) / off * 100
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote benchmark stats to %s (throughput %.1f req/s, p99 %.1fms, telemetry overhead %.1f%%)\n",
+		path, out.ThroughputRPS, out.P99MS, out.TelemetryOverheadPct)
+	return nil
 }

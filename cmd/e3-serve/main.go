@@ -10,6 +10,8 @@
 //	POST /v1/infer   {"difficulty": 0.42}
 //	GET  /v1/plan
 //	GET  /v1/stats
+//	GET  /v1/trace   (recent spans of the boot-time simulated run)
+//	GET  /metrics    (Prometheus text exposition)
 //	GET  /healthz
 package main
 
@@ -26,6 +28,7 @@ import (
 	"e3/internal/optimizer"
 	"e3/internal/profile"
 	"e3/internal/serving"
+	"e3/internal/telemetry"
 	"e3/internal/workload"
 )
 
@@ -37,6 +40,7 @@ func main() {
 	slo := flag.Duration("slo", 100*time.Millisecond, "latency SLO")
 	easy := flag.Float64("easy", 0.8, "easy fraction of the expected workload")
 	auditBoot := flag.Bool("audit", false, "verify the plan with a boot-time lifecycle conservation audit and expose it via /v1/stats")
+	traceRing := flag.Int("trace-ring", 4096, "retain the most recent N spans of the boot-time simulated run for /metrics and /v1/trace (0 disables boot telemetry)")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, 0.4)
@@ -63,22 +67,34 @@ func main() {
 	log.Printf("e3-serve: %s", plan)
 
 	api := serving.NewAPI(m, plan)
-	if *auditBoot {
+	var tr *telemetry.Tracer
+	if *traceRing > 0 {
+		tr = telemetry.NewRing(*traceRing)
+	}
+	if *auditBoot || tr != nil {
 		// Self-check before serving: replay a bursty open-loop trace at the
-		// planned goodput through the full batching/scheduling stack and
-		// verify every sample is accounted exactly once.
-		rep, err := serving.AuditPlan(clus, m, plan, workload.Mix(*easy),
-			plan.Goodput, 10.0, slo.Seconds(), 1)
+		// planned goodput through the full batching/scheduling stack with
+		// the ledger and tracer attached. The run both verifies that every
+		// sample is accounted exactly once and warms the telemetry the live
+		// /metrics and /v1/trace endpoints expose.
+		rep, _, err := serving.TracedPlan(clus, m, plan, workload.Mix(*easy),
+			plan.Goodput, 10.0, slo.Seconds(), 1, tr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "e3-serve: audit failed:", err)
+			fmt.Fprintln(os.Stderr, "e3-serve: boot run failed:", err)
 			os.Exit(1)
 		}
-		log.Printf("e3-serve: %s", rep)
-		if !rep.OK() {
-			fmt.Fprintln(os.Stderr, "e3-serve: refusing to serve a plan that fails conservation")
-			os.Exit(1)
+		if *auditBoot {
+			log.Printf("e3-serve: %s", rep)
+			if !rep.OK() {
+				fmt.Fprintln(os.Stderr, "e3-serve: refusing to serve a plan that fails conservation")
+				os.Exit(1)
+			}
+			api.AttachAudit(rep)
 		}
-		api.AttachAudit(rep)
+		if tr != nil {
+			api.AttachTelemetry(tr)
+			log.Printf("e3-serve: telemetry ring holds %d of %d recorded spans", len(tr.Spans()), tr.Total())
+		}
 	}
 	log.Printf("e3-serve: listening on %s", *addr)
 	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	e3-trace -kind bursty -rate 1000 -horizon 300 -seed 1 > trace.txt
+//
+// It also summarizes Chrome trace-event timelines exported by
+// e3-bench -trace-out (per-split utilization, bubble time, batch-size
+// histograms):
+//
+//	e3-trace -summarize demo.json
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"e3/internal/telemetry"
 	"e3/internal/trace"
 )
 
@@ -23,7 +30,16 @@ func main() {
 	horizon := flag.Float64("horizon", 300, "trace duration (s)")
 	seed := flag.Int64("seed", 1, "random seed")
 	summary := flag.Bool("summary", false, "print only the summary")
+	summarize := flag.String("summarize", "", "summarize a Chrome trace-event JSON file exported by e3-bench -trace-out, then exit")
 	flag.Parse()
+
+	if *summarize != "" {
+		if err := summarizeChrome(*summarize); err != nil {
+			fmt.Fprintln(os.Stderr, "e3-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var arr trace.Arrivals
 	switch *kind {
@@ -47,4 +63,20 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "e3-trace: %d arrivals over %.0fs (avg %.1f req/s, burstiness CV²=%.1f)\n",
 		len(arr), *horizon, arr.Rate(*horizon), arr.Burstiness())
+}
+
+// summarizeChrome reads an exported span timeline and prints per-split
+// utilization, bubble time, and batch-size histograms.
+func summarizeChrome(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadChrome(f)
+	if err != nil {
+		return err
+	}
+	telemetry.Summarize(spans).Print(os.Stdout)
+	return nil
 }

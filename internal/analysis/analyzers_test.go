@@ -42,7 +42,7 @@ func TestScoping(t *testing.T) {
 		out []string
 	}{
 		{analysis.VirtualTime,
-			[]string{"e3/internal/sim", "e3/internal/serving", "e3/internal/audit", "e3/internal/experiments"},
+			[]string{"e3/internal/sim", "e3/internal/serving", "e3/internal/audit", "e3/internal/experiments", "e3/internal/telemetry"},
 			[]string{"e3/cmd/e3-bench", "e3/internal/optimizer", "e3"}},
 		{analysis.SeededRand,
 			[]string{"e3/internal/workload", "e3/internal/forecast", "e3/internal/trace"},
@@ -54,7 +54,7 @@ func TestScoping(t *testing.T) {
 			[]string{"e3/internal/scheduler", "e3/internal/serving"},
 			[]string{"e3/internal/metrics", "e3/internal/audit"}},
 		{analysis.EventLoop,
-			[]string{"e3/internal/sim", "e3/internal/scheduler", "e3/internal/serving"},
+			[]string{"e3/internal/sim", "e3/internal/scheduler", "e3/internal/serving", "e3/internal/telemetry"},
 			[]string{"e3/internal/multi", "e3/cmd/e3-serve"}},
 	}
 	for _, c := range cases {

@@ -36,6 +36,7 @@ var EventLoop = &Analyzer{
 		"e3/internal/sim",
 		"e3/internal/scheduler",
 		"e3/internal/serving",
+		"e3/internal/telemetry",
 	),
 	Run: runEventLoop,
 }

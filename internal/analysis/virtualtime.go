@@ -45,6 +45,7 @@ var VirtualTime = &Analyzer{
 		"e3/internal/workload",
 		"e3/internal/experiments",
 		"e3/internal/core",
+		"e3/internal/telemetry",
 	),
 	Run: runVirtualTime,
 }

@@ -206,6 +206,14 @@ func (r *Report) addViolation(format string, args ...any) {
 	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
 }
 
+// Violate appends an externally detected invariant violation to the
+// report — the hook sibling subsystems (telemetry span reconciliation,
+// collector cross-checks) use to fold their findings into the one audit
+// verdict the -audit drivers act on.
+func (r *Report) Violate(format string, args ...any) {
+	r.addViolation(format, args...)
+}
+
 // CrossCheck asserts the ledger's terminal totals against an external
 // accounting (the collector's Served+Violations and Dropped counters).
 func (r *Report) CrossCheck(completed, dropped int) {

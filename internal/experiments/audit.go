@@ -11,6 +11,7 @@ import (
 	"e3/internal/scheduler"
 	"e3/internal/serving"
 	"e3/internal/sim"
+	"e3/internal/telemetry"
 	"e3/internal/trace"
 )
 
@@ -20,9 +21,11 @@ func init() {
 
 // RunAudit drives a bursty open-loop trace through each runner (E3
 // pipeline, data-parallel baseline, serial ablation) with the lifecycle
-// ledger attached and reports the conservation verdict per runner. The
-// second return value counts invariant violations across all runners;
-// cmd/e3-bench -audit exits nonzero when it is not 0.
+// ledger and a ring span tracer attached, and reports the conservation
+// verdict per runner. The tracer's event counts are reconciled against
+// the ledger (telemetry.Tracer.Reconcile), so a recording bug surfaces as
+// an audit violation. The second return value counts invariant violations
+// across all runners; cmd/e3-bench -audit exits nonzero when it is not 0.
 func RunAudit() (Table, int) {
 	base := model.BERTBase()
 	dee := ee.NewDeeBERT(base, 0.4)
@@ -73,7 +76,8 @@ func RunAudit() (Table, int) {
 
 	violations := 0
 	for _, rc := range cases {
-		rep, _, err := serving.AuditedOpenLoop(rc.mk, base.NumLayers(), arr, dist, rc.est, defaultSLO, batch, seed)
+		rep, _, err := serving.TracedOpenLoop(rc.mk, base.NumLayers(), arr, dist, rc.est, defaultSLO, batch, seed,
+			telemetry.NewRing(4096))
 		if err != nil {
 			t.Rows = append(t.Rows, []string{rc.name, "-", "-", "-", "-", "-", "-", "-", "build failed: " + err.Error()})
 			violations++

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"e3/internal/audit"
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/optimizer"
+	"e3/internal/scheduler"
+	"e3/internal/serving"
+	"e3/internal/sim"
+	"e3/internal/telemetry"
+	"e3/internal/trace"
+)
+
+// The traced demo reuses the audit experiment's setting (BERT-Base
+// DeeBERT, V100×8, bursty open loop) so the exported timeline shows the
+// same run the conservation audit verifies.
+const (
+	tracedBatch   = 8
+	tracedAvgRate = 2000.0
+	tracedHorizon = 10.0
+	tracedSeed    = 424242
+)
+
+// RunTracedDemo plans the demo setting and replays it through the E3
+// pipeline with the given tracer attached end to end (tr may be nil to
+// measure the untraced baseline). The returned report has the tracer's
+// counters reconciled against the ledger; horizon is virtual seconds of
+// bursty arrivals.
+func RunTracedDemo(tr *telemetry.Tracer, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+	base := model.BERTBase()
+	dee := ee.NewDeeBERT(base, 0.4)
+	dist := mix80()
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 8) }
+
+	plan, err := planE3(mk(), dee, dist, tracedBatch, defaultSLO, nil)
+	if err != nil {
+		return nil, nil, optimizer.Plan{}, err
+	}
+	arr := trace.Bursty(trace.DefaultBursty(tracedAvgRate), horizon, tracedSeed)
+	rep, coll, err := serving.TracedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+		return scheduler.NewPipeline(eng, mk(), dee, plan, coll)
+	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, tr)
+	if err != nil {
+		return nil, nil, optimizer.Plan{}, err
+	}
+	return rep, coll, plan, nil
+}

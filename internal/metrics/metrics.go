@@ -37,8 +37,11 @@ func (r *LatencyRecorder) ensureSorted() {
 	}
 }
 
-// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using nearest-rank
-// interpolation. It returns 0 for an empty recorder.
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between closest ranks (the "type 7" estimator NumPy and R
+// default to): the quantile position is q·(n−1), and a fractional position
+// blends the two neighbouring order statistics. It returns 0 for an empty
+// recorder.
 func (r *LatencyRecorder) Quantile(q float64) float64 {
 	if len(r.samples) == 0 {
 		return 0

@@ -10,6 +10,7 @@ import (
 	"e3/internal/audit"
 	"e3/internal/metrics"
 	"e3/internal/profile"
+	"e3/internal/telemetry"
 	"e3/internal/workload"
 )
 
@@ -41,6 +42,12 @@ type Collector struct {
 	// Audit is an optional lifecycle ledger shared by the generator, the
 	// batcher, and the runner (nil disables auditing at zero cost).
 	Audit *audit.Ledger
+
+	// Trace is an optional span tracer shared the same way (nil disables
+	// telemetry at zero cost). Runners record per-batch execute, transfer,
+	// and fusion spans; the collector records completion/drop events so the
+	// tracer's counters reconcile with the ledger.
+	Trace *telemetry.Tracer
 
 	// exitCounts[k] counts samples that exited after layer k (1-based).
 	exitCounts []int
@@ -79,6 +86,7 @@ func (c *Collector) Complete(s workload.Sample, at float64, exitLayer int) {
 		c.windowViolations++
 	}
 	c.Audit.Completed(s.ID, at, exitLayer)
+	c.Trace.Complete(at, at-s.Arrival)
 }
 
 // Drop records a sample shed without execution, classified by reason
@@ -92,6 +100,7 @@ func (c *Collector) Drop(s workload.Sample, at float64, reason audit.Reason) {
 	c.Good.Drop(1, at)
 	c.windowViolations++
 	c.Audit.Dropped(s.ID, at, reason)
+	c.Trace.Drop(at, string(reason))
 }
 
 // AuditReport verifies the attached ledger's conservation invariants and

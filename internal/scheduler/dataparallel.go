@@ -81,7 +81,9 @@ func (d *DataParallel) runNext(inst *instance) {
 	dev := d.clus.Devices[inst.device]
 	L := d.model.Base.NumLayers()
 	res := exec.RunSegment(d.model, 1, L, batch, dev.Spec(), dev.Slowdown)
-	d.coll.Util.AddBusy(dev.ID, d.eng.Now(), res.Duration)
+	now := d.eng.Now()
+	d.coll.Util.AddBusy(dev.ID, now, res.Duration)
+	d.coll.Trace.Execute(dev.ID, string(dev.Kind), 0, len(batch), now, now+res.Duration)
 	if d.ewmaBatch == 0 {
 		d.ewmaBatch = res.Duration
 	} else {

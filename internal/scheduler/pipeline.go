@@ -201,6 +201,7 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	dev := p.clus.Devices[inst.device]
 	res := exec.RunSplit(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown)
 	p.coll.Util.AddBusy(dev.ID, now, res.Duration)
+	p.coll.Trace.Execute(dev.ID, string(dev.Kind), si, len(batch), now, now+res.Duration)
 
 	// Straggler detection (§3.3): compare against the planned time for
 	// this exact batch size — partial batches have high fixed costs, so
@@ -227,6 +228,8 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 		comm := p.clus.Link(inst.device, target.device).
 			TransferTime(p.model.Base.Layers[st.split.To-1].ActBytes * float64(len(res.Survivors)))
 		survivors := res.Survivors
+		xferStart := now + res.Duration + res.HandoffDelay
+		p.coll.Trace.Transfer(si, len(survivors), xferStart, xferStart+comm)
 		p.eng.After(res.Duration+res.HandoffDelay+comm, func() {
 			p.receive(si+1, survivors, target)
 		})
@@ -262,6 +265,17 @@ func (st *stage) takeMerged(n int) ([]workload.Sample, *instance) {
 	return batch, dest
 }
 
+// fuseAndDispatch forms a batch of n from the stage's merge queue and
+// dispatches it, recording the fusion wait (head entry → batch formation)
+// as a telemetry span.
+func (p *Pipeline) fuseAndDispatch(si, n int) {
+	st := p.stages[si]
+	headAt := st.merge[0].at
+	batch, dest := st.takeMerged(n)
+	p.coll.Trace.Fuse(si, len(batch), headAt, p.eng.Now())
+	p.dispatchMerged(si, dest, batch)
+}
+
 // dispatchMerged hands a merge-formed batch to the instance its head's
 // activations already live on, falling back to a fresh pick if that
 // instance has since been excluded.
@@ -290,8 +304,7 @@ func (p *Pipeline) drain(si int) {
 	st := p.stages[si]
 	b0 := p.plan.Batch
 	for len(st.merge) >= b0 {
-		batch, dest := st.takeMerged(b0)
-		p.dispatchMerged(si, dest, batch)
+		p.fuseAndDispatch(si, b0)
 	}
 	if len(st.merge) > 0 && !st.flushArm {
 		st.flushArm = true
@@ -322,8 +335,7 @@ func (p *Pipeline) flush(si int) {
 	if n > p.plan.Batch {
 		n = p.plan.Batch
 	}
-	batch, dest := st.takeMerged(n)
-	p.dispatchMerged(si, dest, batch)
+	p.fuseAndDispatch(si, n)
 	p.drain(si)
 }
 
@@ -360,8 +372,7 @@ func (p *Pipeline) FlushAll() {
 			if n > p.plan.Batch {
 				n = p.plan.Batch
 			}
-			batch, dest := st.takeMerged(n)
-			p.dispatchMerged(si, dest, batch)
+			p.fuseAndDispatch(si, n)
 		}
 	}
 }

@@ -118,6 +118,7 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			}
 			dev := s.clus.Devices[i%g]
 			s.coll.Util.AddBusy(dev.ID, now+elapsed, res.Duration)
+			s.coll.Trace.Execute(dev.ID, string(dev.Kind), si, hi-lo, now+elapsed, now+elapsed+res.Duration)
 			for _, c := range res.Completions {
 				c := c
 				// Completion lands at the end of this phase.

@@ -7,41 +7,64 @@ import (
 	"e3/internal/optimizer"
 	"e3/internal/scheduler"
 	"e3/internal/sim"
+	"e3/internal/telemetry"
 	"e3/internal/trace"
 	"e3/internal/workload"
 )
 
-// AuditedOpenLoop replays an arrival trace through a dynamic batcher with
-// the lifecycle ledger wired end to end (generator → batcher → runner →
-// collector), then verifies conservation: every minted sample must be
-// completed or dropped exactly once, with monotone timestamps and
-// classified drop reasons. The runner is built by mk against the engine
-// and a ledger-carrying collector. It returns the verified report and the
-// collector for further inspection.
-func AuditedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
-	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64) (*audit.Report, *scheduler.Collector, error) {
+// TracedOpenLoop replays an arrival trace through a dynamic batcher with
+// the lifecycle ledger — and, when tr is non-nil, the span tracer — wired
+// end to end (generator → batcher → runner → collector), then verifies
+// conservation: every minted sample must be completed or dropped exactly
+// once, with monotone timestamps and classified drop reasons, and the
+// tracer's event counts must reconcile with the ledger's totals
+// (telemetry.Tracer.Reconcile folds mismatches into the report). The
+// runner is built by mk against the engine and a ledger-carrying
+// collector. It returns the verified report and the collector for further
+// inspection.
+func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64,
+	tr *telemetry.Tracer) (*audit.Report, *scheduler.Collector, error) {
 	eng := sim.NewEngine()
 	coll := scheduler.NewCollector(layers, slo, 0)
 	coll.Audit = audit.NewLedger()
+	coll.Trace = tr
 	r, err := mk(eng, coll)
 	if err != nil {
 		return nil, nil, err
 	}
 	gen := workload.NewGenerator(dist, seed)
 	gen.SetAudit(coll.Audit)
+	gen.SetTrace(tr)
 	b := NewBatcher(eng, r, batch, estService, 0.2)
 	c := RunOpenLoop(eng, r, b, arr, gen, slo)
-	return c.AuditReport(), c, nil
+	rep := c.AuditReport()
+	tr.Reconcile(rep)
+	return rep, c, nil
 }
 
-// AuditPlan runs a bursty open-loop conservation audit of an E3 plan on
-// the given cluster — the self-check e3-serve performs at boot under
-// -audit before exposing the plan over HTTP.
+// AuditedOpenLoop is TracedOpenLoop without telemetry.
+func AuditedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64) (*audit.Report, *scheduler.Collector, error) {
+	return TracedOpenLoop(mk, layers, arr, dist, estService, slo, batch, seed, nil)
+}
+
+// TracedPlan runs a bursty open-loop conservation audit of an E3 plan on
+// the given cluster with the span tracer attached — the self-check and
+// telemetry warm-up e3-serve performs at boot before exposing the plan
+// over HTTP. The tracer (commonly a ring) ends up holding the run's spans
+// and histograms for the live /metrics and /v1/trace endpoints.
+func TracedPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
+	avgRate, horizon, slo float64, seed int64, tr *telemetry.Tracer) (*audit.Report, *scheduler.Collector, error) {
+	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
+	return TracedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+		return scheduler.NewPipeline(eng, clus, m, plan, coll)
+	}, m.Base.NumLayers(), arr, dist, plan.Latency, slo, plan.Batch, seed, tr)
+}
+
+// AuditPlan is TracedPlan without telemetry, returning only the report.
 func AuditPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
 	avgRate, horizon, slo float64, seed int64) (*audit.Report, error) {
-	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
-	rep, _, err := AuditedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
-		return scheduler.NewPipeline(eng, clus, m, plan, coll)
-	}, m.Base.NumLayers(), arr, dist, plan.Latency, slo, plan.Batch, seed)
+	rep, _, err := TracedPlan(clus, m, plan, dist, avgRate, horizon, slo, seed, nil)
 	return rep, err
 }

@@ -110,6 +110,9 @@ func (b *Batcher) dispatch(n int) {
 	batch := make([]workload.Sample, n)
 	copy(batch, b.queue[:n])
 	b.queue = b.queue[n:]
+	// The head entered the queue at its arrival (admission happens in
+	// Arrive), so head wait = now − arrival.
+	b.runner.Collector().Trace.QueueWait(len(batch), batch[0].Arrival, b.eng.Now())
 	b.runner.Ingest(batch)
 	b.disarmFlush()
 	b.armFlush()

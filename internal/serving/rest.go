@@ -8,7 +8,9 @@ import (
 
 	"e3/internal/audit"
 	"e3/internal/ee"
+	"e3/internal/metrics"
 	"e3/internal/optimizer"
+	"e3/internal/telemetry"
 )
 
 // API serves E3 inference over HTTP/JSON, mirroring the TorchServe REST
@@ -25,14 +27,24 @@ type API struct {
 
 	served     int
 	exitCounts map[int]int
+	// inferLat buckets the plan-predicted latency of live requests for the
+	// /metrics histogram (fixed buckets: a scrape never walks per-request
+	// state).
+	inferLat *metrics.Histogram
 	// auditRep is the verified lifecycle report of a boot-time audit run
 	// (nil when the server started without -audit).
 	auditRep *audit.Report
+	// tracer holds the boot run's spans and histograms for /metrics and
+	// /v1/trace (nil when the server started without telemetry).
+	tracer *telemetry.Tracer
 }
 
 // NewAPI builds the handler set for a planned model.
 func NewAPI(m *ee.EEModel, plan optimizer.Plan) *API {
-	return &API{model: plan.ExecModel(m), plan: plan, exitCounts: make(map[int]int)}
+	return &API{
+		model: plan.ExecModel(m), plan: plan, exitCounts: make(map[int]int),
+		inferLat: metrics.NewLogHistogram(1e-4, 10.0, 40),
+	}
 }
 
 // Handler returns the routed HTTP handler.
@@ -42,6 +54,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/v1/infer", a.handleInfer)
 	mux.HandleFunc("/v1/plan", a.handlePlan)
 	mux.HandleFunc("/v1/stats", a.handleStats)
+	mux.HandleFunc("/v1/trace", a.handleTrace)
+	mux.HandleFunc("/metrics", a.handleMetrics)
 	return mux
 }
 
@@ -94,6 +108,7 @@ func (a *API) handleInfer(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	a.served++
 	a.exitCounts[exit]++
+	a.inferLat.Observe(lat)
 	a.mu.Unlock()
 
 	writeJSON(w, InferResponse{

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func chromeSample() []Span {
+	return []Span{
+		{Track: "v100-1", Kind: KindExecute, Start: 0.3, End: 0.5, Stage: 1, Batch: 4, GPU: "V100"},
+		{Track: "v100-0", Kind: KindExecute, Start: 0.0, End: 0.2, Stage: 0, Batch: 8, GPU: "V100"},
+		{Track: "batcher", Kind: KindQueueWait, Start: 0.0, End: 0.05, Stage: -1, Batch: 8},
+		{Track: "v100-0", Kind: KindExecute, Start: 0.2, End: 0.4, Stage: 0, Batch: 8, GPU: "V100"},
+		{Track: "xfer:s0->s1", Kind: KindTransfer, Start: 0.2, End: 0.25, Stage: 0, Batch: 4},
+		{Track: "merge:s1", Kind: KindFuse, Start: 0.25, End: 0.3, Stage: 1, Batch: 4},
+	}
+}
+
+func TestWriteChromeStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, chromeSample()); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit == "" {
+		t.Fatal("missing displayTimeUnit")
+	}
+
+	// One thread_name metadata event per track; GPU tracks get the lowest
+	// tids so they render on top.
+	names := make(map[int]string)
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			names[ev.TID] = ev.Args["name"].(string)
+		}
+	}
+	if len(names) != 5 {
+		t.Fatalf("got %d named tracks, want 5: %v", len(names), names)
+	}
+	if names[1] != "v100-0" || names[2] != "v100-1" {
+		t.Fatalf("GPU tracks not first: %v", names)
+	}
+
+	// Per-track timestamps monotone, durations non-negative, microsecond
+	// scaling.
+	lastTS := make(map[int]float64)
+	nX := 0
+	for _, ev := range file.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		nX++
+		if ev.Dur < 0 {
+			t.Fatalf("negative duration on %q", ev.Name)
+		}
+		if prev, seen := lastTS[ev.TID]; seen && ev.TS < prev {
+			t.Fatalf("track %s timestamps not monotone: %v after %v", names[ev.TID], ev.TS, prev)
+		}
+		lastTS[ev.TID] = ev.TS
+	}
+	if nX != len(chromeSample()) {
+		t.Fatalf("emitted %d complete events, want %d", nX, len(chromeSample()))
+	}
+	// Spot-check scaling: v100-1's execute starts at 0.3 virtual seconds =
+	// 3e5 µs.
+	if !strings.Contains(buf.String(), "\"ts\":300000") {
+		t.Fatalf("expected 0.3s -> 300000µs scaling in output")
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	in := chromeSample()
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round-trip returned %d spans, want %d", len(out), len(in))
+	}
+	// ReadChrome returns spans in the file's (track, start) sort order;
+	// bring the originals into the same order and compare pairwise.
+	want := make([]Span, len(in))
+	copy(want, in)
+	sortSpansLikeChrome(want)
+	for i, got := range out {
+		w := want[i]
+		if got.Track != w.Track || got.Kind != w.Kind || got.Stage != w.Stage || got.Batch != w.Batch || got.GPU != w.GPU {
+			t.Fatalf("span %d: round-trip mutated span: got %+v want %+v", i, got, w)
+		}
+		if !approx(got.Start, w.Start) || !approx(got.End, w.End) {
+			t.Fatalf("span %d: round-trip moved span: got [%v,%v] want [%v,%v]", i, got.Start, got.End, w.Start, w.End)
+		}
+	}
+}
+
+// sortSpansLikeChrome mirrors WriteChrome's on-disk event order: tracks in
+// trackOrder sequence, then by start and end within a track.
+func sortSpansLikeChrome(spans []Span) {
+	order := trackOrder(spans)
+	rank := make(map[string]int, len(order))
+	for i, tr := range order {
+		rank[tr] = i
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Track != spans[j].Track {
+			return rank[spans[i].Track] < rank[spans[j].Track]
+		}
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].End < spans[j].End
+	})
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 0 {
+		t.Fatalf("empty trace round-tripped %d spans", len(spans))
+	}
+}
+
+func TestReadChromeRejectsOrphanEvent(t *testing.T) {
+	in := `{"traceEvents":[{"name":"execute","cat":"execute","ph":"X","ts":0,"dur":10,"pid":1,"tid":9}]}`
+	if _, err := ReadChrome(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for complete event without thread_name metadata")
+	}
+}
+
+func TestReadChromeRejectsNegativeDuration(t *testing.T) {
+	in := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"g0"}},` +
+		`{"name":"execute","cat":"execute","ph":"X","ts":5,"dur":-1,"pid":1,"tid":1}]}`
+	if _, err := ReadChrome(strings.NewReader(in)); err == nil {
+		t.Fatal("expected error for negative duration")
+	}
+}
+
+func TestReadChromeSkipsForeignEvents(t *testing.T) {
+	in := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"g0"}},` +
+		`{"name":"other","cat":"other","ph":"X","ts":0,"dur":1,"pid":1,"tid":1},` +
+		`{"name":"b","ph":"B","ts":0,"pid":1,"tid":1},` +
+		`{"name":"execute","cat":"execute","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"batch":2,"stage":0}}]}`
+	spans, err := ReadChrome(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Batch != 2 {
+		t.Fatalf("expected 1 known span, got %+v", spans)
+	}
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// SplitSummary aggregates one split's execute spans.
+type SplitSummary struct {
+	Stage int
+	// Batches is the number of execute spans; Samples the sum of their
+	// batch sizes.
+	Batches int
+	Samples int
+	// Tracks is the number of distinct GPUs that served the split.
+	Tracks int
+	// Busy is total execute time across those GPUs (GPU-seconds).
+	Busy float64
+	// Util is Busy / (horizon × Tracks): the mean busy fraction of the
+	// split's GPUs over the trace horizon.
+	Util float64
+	// Bubble is the complementary idle time (GPU-seconds): horizon ×
+	// Tracks − Busy. This is the quantity E3's pipelining claims to keep
+	// near zero.
+	Bubble float64
+	// MeanBatch is Samples / Batches.
+	MeanBatch float64
+	// BatchHist counts execute spans by exact batch size.
+	BatchHist map[int]int
+}
+
+// LaneSummary aggregates one non-execute span kind.
+type LaneSummary struct {
+	Count int
+	Total float64
+}
+
+// Mean is the average span duration (0 if none).
+func (l LaneSummary) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return l.Total / float64(l.Count)
+}
+
+// Summary is what e3-trace reports about a trace: the timeline horizon,
+// per-split occupancy, and the overhead lanes.
+type Summary struct {
+	// Start and End bound every span in the trace; Horizon = End − Start.
+	Start, End float64
+	// GPUTracks counts distinct execute tracks (one per GPU).
+	GPUTracks int
+	Splits    []SplitSummary
+	QueueWait LaneSummary
+	Transfer  LaneSummary
+	Fuse      LaneSummary
+}
+
+// Horizon is the trace's virtual-time extent.
+func (s Summary) Horizon() float64 { return s.End - s.Start }
+
+// Summarize reduces a span stream to per-split occupancy statistics. The
+// horizon is the extent of all spans; each split's utilization denominator
+// is that horizon times the number of GPUs that served the split.
+func Summarize(spans []Span) Summary {
+	var sum Summary
+	if len(spans) == 0 {
+		return sum
+	}
+	sum.Start, sum.End = spans[0].Start, spans[0].End
+	type splitAcc struct {
+		batches, samples int
+		busy             float64
+		tracks           map[string]bool
+		hist             map[int]int
+	}
+	splits := make(map[int]*splitAcc)
+	gpuTracks := make(map[string]bool)
+	for _, s := range spans {
+		if s.Start < sum.Start {
+			sum.Start = s.Start
+		}
+		if s.End > sum.End {
+			sum.End = s.End
+		}
+		switch s.Kind {
+		case KindExecute:
+			gpuTracks[s.Track] = true
+			acc := splits[s.Stage]
+			if acc == nil {
+				acc = &splitAcc{tracks: make(map[string]bool), hist: make(map[int]int)}
+				splits[s.Stage] = acc
+			}
+			acc.batches++
+			acc.samples += s.Batch
+			acc.busy += s.Duration()
+			acc.tracks[s.Track] = true
+			acc.hist[s.Batch]++
+		case KindQueueWait:
+			sum.QueueWait.Count++
+			sum.QueueWait.Total += s.Duration()
+		case KindTransfer:
+			sum.Transfer.Count++
+			sum.Transfer.Total += s.Duration()
+		case KindFuse:
+			sum.Fuse.Count++
+			sum.Fuse.Total += s.Duration()
+		}
+	}
+	sum.GPUTracks = len(gpuTracks)
+	horizon := sum.Horizon()
+	stages := make([]int, 0, len(splits))
+	for st := range splits {
+		stages = append(stages, st)
+	}
+	sort.Ints(stages)
+	for _, st := range stages {
+		acc := splits[st]
+		ss := SplitSummary{
+			Stage:     st,
+			Batches:   acc.batches,
+			Samples:   acc.samples,
+			Tracks:    len(acc.tracks),
+			Busy:      acc.busy,
+			BatchHist: acc.hist,
+		}
+		if acc.batches > 0 {
+			ss.MeanBatch = float64(acc.samples) / float64(acc.batches)
+		}
+		if horizon > 0 && ss.Tracks > 0 {
+			capacity := horizon * float64(ss.Tracks)
+			ss.Util = ss.Busy / capacity
+			if ss.Util > 1 {
+				ss.Util = 1
+			}
+			ss.Bubble = capacity - ss.Busy
+			if ss.Bubble < 0 {
+				ss.Bubble = 0
+			}
+		}
+		sum.Splits = append(sum.Splits, ss)
+	}
+	return sum
+}
+
+// Print renders the summary as the aligned text e3-trace -summarize
+// emits.
+func (s Summary) Print(w io.Writer) {
+	fmt.Fprintf(w, "trace: horizon %.3fs (t=%.3f..%.3f), %d GPU track(s)\n",
+		s.Horizon(), s.Start, s.End, s.GPUTracks)
+	fmt.Fprintf(w, "  %-6s %-8s %-8s %-6s %-10s %-7s %-9s %-10s %s\n",
+		"split", "batches", "samples", "gpus", "busy(s)", "util", "bubble(s)", "meanbatch", "batch histogram")
+	for _, sp := range s.Splits {
+		fmt.Fprintf(w, "  %-6d %-8d %-8d %-6d %-10.3f %-7.1f %-9.3f %-10.2f %s\n",
+			sp.Stage, sp.Batches, sp.Samples, sp.Tracks, sp.Busy,
+			sp.Util*100, sp.Bubble, sp.MeanBatch, formatBatchHist(sp.BatchHist))
+	}
+	fmt.Fprintf(w, "  queue-wait: n=%d total=%.3fs mean=%.1fms\n",
+		s.QueueWait.Count, s.QueueWait.Total, s.QueueWait.Mean()*1e3)
+	fmt.Fprintf(w, "  transfer:   n=%d total=%.3fs mean=%.1fms\n",
+		s.Transfer.Count, s.Transfer.Total, s.Transfer.Mean()*1e3)
+	fmt.Fprintf(w, "  fusion:     n=%d total=%.3fs mean=%.1fms\n",
+		s.Fuse.Count, s.Fuse.Total, s.Fuse.Mean()*1e3)
+}
+
+// formatBatchHist renders "1:12 4:3 8:960" with sizes ascending.
+func formatBatchHist(hist map[int]int) string {
+	sizes := make([]int, 0, len(hist))
+	for b := range hist {
+		sizes = append(sizes, b)
+	}
+	sort.Ints(sizes)
+	parts := make([]string, len(sizes))
+	for i, b := range sizes {
+		parts[i] = fmt.Sprintf("%d:%d", b, hist[b])
+	}
+	return strings.Join(parts, " ")
+}

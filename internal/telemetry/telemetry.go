@@ -1,0 +1,372 @@
+// Package telemetry records what the end-of-run aggregates cannot show: a
+// virtual-time span per unit of work as a request flows through the
+// serving stack — queue wait in the batcher, per-batch execution on each
+// split's GPU (with batch size and GPU kind), inter-split activation
+// transfer, and survivor fusion in the merge queues — plus O(1) streaming
+// counters and histograms derived from the same stream (completion
+// latency, per-split batch size). Per-GPU occupancy timelines fall out of
+// the execute spans' tracks.
+//
+// The tracer obeys the simulator's invariants: every timestamp is virtual
+// (stamped by the caller from the sim clock — the package never reads any
+// clock), recording happens synchronously on the event loop's goroutine,
+// and the span counters must reconcile with the audit ledger's terminal
+// counts (Reconcile), so tracing cannot silently disagree with the
+// conservation audit.
+//
+// Like audit.Ledger, a nil *Tracer is valid and records nothing: call
+// sites thread telemetry unconditionally and pay nothing when it is off.
+package telemetry
+
+import (
+	"fmt"
+
+	"e3/internal/audit"
+	"e3/internal/metrics"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// KindExecute is one batch running a split (or the whole model) on a
+	// GPU; its track is the device ID, so execute spans form per-GPU
+	// occupancy timelines.
+	KindExecute Kind = iota
+	// KindQueueWait is the time a dispatch batch's head waited in the
+	// dynamic batcher's queue.
+	KindQueueWait
+	// KindTransfer is an inter-split activation transfer.
+	KindTransfer
+	// KindFuse is the time a merge-queue head waited for its survivor
+	// batch to be re-formed (fusion).
+	KindFuse
+)
+
+// String names the kind; it doubles as the Chrome trace "cat" field.
+func (k Kind) String() string {
+	switch k {
+	case KindExecute:
+		return "execute"
+	case KindQueueWait:
+		return "queue-wait"
+	case KindTransfer:
+		return "transfer"
+	case KindFuse:
+		return "fuse"
+	}
+	return fmt.Sprintf("kind(%d)", k)
+}
+
+// KindFromString inverts String (for trace import).
+func KindFromString(s string) (Kind, bool) {
+	switch s {
+	case "execute":
+		return KindExecute, true
+	case "queue-wait":
+		return KindQueueWait, true
+	case "transfer":
+		return KindTransfer, true
+	case "fuse":
+		return KindFuse, true
+	}
+	return 0, false
+}
+
+// Span is one timed interval on a named track, in virtual seconds.
+type Span struct {
+	// Track groups spans into one timeline row: the GPU device ID for
+	// execute spans, a logical lane ("batcher", "xfer:s0->s1", "merge:s1")
+	// otherwise.
+	Track string
+	Kind  Kind
+	// Start and End are virtual times; End ≥ Start always.
+	Start, End float64
+	// Stage is the split index the work belongs to (-1 when not split
+	// work, e.g. batcher queue wait).
+	Stage int
+	// Batch is the number of samples the span carries.
+	Batch int
+	// GPU is the device kind for execute spans ("V100"), empty otherwise.
+	GPU string
+}
+
+// Duration is the span's extent in virtual seconds.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Histogram bucket layouts. Latency covers 100 µs – 10 s; batch sizes
+// cover 1 – 4096 in powers of two. Both are fixed so the /metrics
+// endpoint stays O(buckets) regardless of run length.
+const (
+	latHistLo, latHistHi = 1e-4, 10.0
+	latHistBuckets       = 40
+	batchHistLo          = 1
+	batchHistHi          = 4096
+	batchHistBuckets     = 13
+)
+
+// Tracer records spans (optionally into a bounded ring) plus streaming
+// counters and histograms. It is not safe for concurrent use: like the
+// ledger, all recording happens on the event loop's goroutine.
+type Tracer struct {
+	spans []Span
+	// capacity bounds the span store (0 = unbounded, for trace export);
+	// next is the ring's write cursor once it is full.
+	capacity int
+	next     int
+
+	total uint64 // spans recorded, including evicted ones
+
+	arrived, completed, dropped uint64
+	dropsBy                     map[string]uint64
+
+	lat     *metrics.Histogram
+	batchBy map[int]*metrics.Histogram
+
+	// firstAt/lastAt bound every event time seen (spans and lifecycle
+	// events), giving the observation horizon even after ring eviction.
+	firstAt, lastAt float64
+	seenAt          bool
+}
+
+// New returns an unbounded tracer, for full-run trace export.
+func New() *Tracer { return newTracer(0) }
+
+// NewRing returns a tracer that retains only the most recent capacity
+// spans — the live-serving configuration, where memory must not grow with
+// uptime. Counters and histograms still cover the full run.
+func NewRing(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return newTracer(capacity)
+}
+
+func newTracer(capacity int) *Tracer {
+	return &Tracer{
+		capacity: capacity,
+		dropsBy:  make(map[string]uint64),
+		lat:      metrics.NewLogHistogram(latHistLo, latHistHi, latHistBuckets),
+		batchBy:  make(map[int]*metrics.Histogram),
+	}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Record stores one span. Spans whose End precedes their Start are
+// clamped to zero duration — they can only arise from float jitter at
+// scheduling boundaries, mirroring LatencyRecorder's clamp.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.End < s.Start {
+		s.End = s.Start
+	}
+	t.extendHorizon(s.Start)
+	t.extendHorizon(s.End)
+	t.total++
+	if t.capacity > 0 && len(t.spans) == t.capacity {
+		t.spans[t.next] = s
+		t.next = (t.next + 1) % t.capacity
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Execute records one batch running stage on the given device track.
+func (t *Tracer) Execute(track, gpuKind string, stage, batch int, start, end float64) {
+	if t == nil {
+		return
+	}
+	t.Record(Span{Track: track, Kind: KindExecute, Start: start, End: end,
+		Stage: stage, Batch: batch, GPU: gpuKind})
+	h := t.batchBy[stage]
+	if h == nil {
+		h = metrics.NewLogHistogram(batchHistLo, batchHistHi, batchHistBuckets)
+		t.batchBy[stage] = h
+	}
+	h.Observe(float64(batch))
+}
+
+// QueueWait records a dispatched batch's head wait in the batcher queue.
+func (t *Tracer) QueueWait(batch int, start, end float64) {
+	t.Record(Span{Track: "batcher", Kind: KindQueueWait, Start: start, End: end,
+		Stage: -1, Batch: batch})
+}
+
+// Transfer records an inter-split activation transfer out of fromStage.
+func (t *Tracer) Transfer(fromStage, batch int, start, end float64) {
+	t.Record(Span{Track: fmt.Sprintf("xfer:s%d->s%d", fromStage, fromStage+1),
+		Kind: KindTransfer, Start: start, End: end, Stage: fromStage, Batch: batch})
+}
+
+// Fuse records a merge-queue head's wait for survivor batch re-formation
+// at stage.
+func (t *Tracer) Fuse(stage, batch int, start, end float64) {
+	t.Record(Span{Track: fmt.Sprintf("merge:s%d", stage), Kind: KindFuse,
+		Start: start, End: end, Stage: stage, Batch: batch})
+}
+
+// extendHorizon widens the observation window to include event time at.
+func (t *Tracer) extendHorizon(at float64) {
+	if !t.seenAt || at < t.firstAt {
+		t.firstAt = at
+	}
+	if !t.seenAt || at > t.lastAt {
+		t.lastAt = at
+	}
+	t.seenAt = true
+}
+
+// Horizon reports the virtual-time window [start, end] covered by every
+// recorded event, surviving ring eviction. Zeroes when nothing was
+// recorded.
+func (t *Tracer) Horizon() (start, end float64) {
+	if t == nil || !t.seenAt {
+		return 0, 0
+	}
+	return t.firstAt, t.lastAt
+}
+
+// Arrive counts a sample minted by the generator at virtual time at.
+func (t *Tracer) Arrive(at float64) {
+	if t == nil {
+		return
+	}
+	t.extendHorizon(at)
+	t.arrived++
+}
+
+// Complete counts a sample finishing at virtual time at and observes its
+// completion latency.
+func (t *Tracer) Complete(at, latency float64) {
+	if t == nil {
+		return
+	}
+	t.extendHorizon(at)
+	t.completed++
+	t.lat.Observe(latency)
+}
+
+// Drop counts a sample shed without execution at virtual time at, by
+// reason.
+func (t *Tracer) Drop(at float64, reason string) {
+	if t == nil {
+		return
+	}
+	t.extendHorizon(at)
+	t.dropped++
+	t.dropsBy[reason]++
+}
+
+// Spans returns the retained spans oldest-first (a copy). For a wrapped
+// ring this is the most recent Capacity spans in recording order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]Span, 0, len(t.spans))
+	if t.capacity > 0 && len(t.spans) == t.capacity {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+		return out
+	}
+	return append(out, t.spans...)
+}
+
+// Total reports spans recorded over the tracer's lifetime, including ones
+// a ring has since evicted.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Evicted reports how many spans the ring has discarded.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total - uint64(len(t.spans))
+}
+
+// Counts reports the lifecycle counters: samples minted, completed, and
+// dropped.
+func (t *Tracer) Counts() (arrived, completed, dropped uint64) {
+	if t == nil {
+		return 0, 0, 0
+	}
+	return t.arrived, t.completed, t.dropped
+}
+
+// DropsByReason returns the per-reason drop counters (the live map; do
+// not mutate).
+func (t *Tracer) DropsByReason() map[string]uint64 {
+	if t == nil {
+		return nil
+	}
+	return t.dropsBy
+}
+
+// LatencyHist returns the streaming completion-latency histogram (nil for
+// a nil tracer).
+func (t *Tracer) LatencyHist() *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.lat
+}
+
+// BatchHist returns the batch-size histogram for one stage (nil if the
+// stage never executed).
+func (t *Tracer) BatchHist(stage int) *metrics.Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.batchBy[stage]
+}
+
+// Stages returns the stage indices that have batch histograms, ascending.
+func (t *Tracer) Stages() []int {
+	if t == nil {
+		return nil
+	}
+	out := make([]int, 0, len(t.batchBy))
+	for s := range t.batchBy {
+		out = append(out, s)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; stage counts are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Reconcile cross-checks the tracer's lifecycle counters against a
+// verified audit report, appending any mismatch to the report's
+// violations: telemetry that disagrees with the conservation ledger is a
+// recording bug, and -audit must fail on it. A nil tracer reconciles
+// vacuously.
+func (t *Tracer) Reconcile(rep *audit.Report) {
+	if t == nil || rep == nil {
+		return
+	}
+	if int(t.arrived) != rep.Samples {
+		rep.Violate("telemetry: %d arrive events, ledger tracked %d samples", t.arrived, rep.Samples)
+	}
+	if int(t.completed) != rep.Completed {
+		rep.Violate("telemetry: %d completion events, ledger completed %d", t.completed, rep.Completed)
+	}
+	if int(t.dropped) != rep.Dropped {
+		rep.Violate("telemetry: %d drop events, ledger dropped %d", t.dropped, rep.Dropped)
+	}
+	for reason, n := range t.dropsBy {
+		if int(n) != rep.ByReason[audit.Reason(reason)] {
+			rep.Violate("telemetry: %d drops for reason %q, ledger has %d", n, reason, rep.ByReason[audit.Reason(reason)])
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"e3/internal/audit"
+	"e3/internal/telemetry"
 )
 
 // Sample is one inference request.
@@ -24,6 +25,7 @@ type Generator struct {
 	rng    *rand.Rand
 	next   int64
 	ledger *audit.Ledger
+	tracer *telemetry.Tracer
 }
 
 // NewGenerator builds a seeded generator.
@@ -35,10 +37,16 @@ func NewGenerator(dist Dist, seed int64) *Generator {
 // arrival event. A nil ledger disables recording.
 func (g *Generator) SetAudit(l *audit.Ledger) { g.ledger = l }
 
+// SetTrace attaches a span tracer; every minted sample counts an arrive
+// event so span counts can reconcile with the ledger. A nil tracer
+// disables recording.
+func (g *Generator) SetTrace(t *telemetry.Tracer) { g.tracer = t }
+
 // Next mints one sample arriving at the given time with the given SLO.
 func (g *Generator) Next(arrival, slo float64) Sample {
 	g.next++
 	g.ledger.Arrived(g.next, arrival)
+	g.tracer.Arrive(arrival)
 	return Sample{
 		ID:         g.next,
 		Difficulty: g.dist.Sample(g.rng),
