@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race audit overhead
+.PHONY: verify build vet lint test race audit replan overhead
 
-verify: build vet lint test race audit overhead
+verify: build vet lint test race audit replan overhead
 	@echo "verify: all checks passed"
 
 build:
@@ -35,6 +35,11 @@ race:
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
 	$(GO) run ./cmd/e3-bench -audit
+
+# Windowed replan loop conservation gate: the predict→plan→serve→observe
+# loop must keep the sample ledger exact across every plan switch.
+replan:
+	$(GO) run ./cmd/e3-bench -windows 12 -audit
 
 # Telemetry overhead gate: ring-traced demo runs must stay within a
 # bounded wall-clock factor of untraced runs. Env-gated so plain

@@ -8,6 +8,7 @@
 //	e3-bench fig07 fig12 fig19     # run a selection
 //	e3-bench -trace-out demo.json  # export a Perfetto-loadable timeline
 //	e3-bench -bench-out bench.json # machine-readable perf + overhead stats
+//	e3-bench -windows 20 -audit    # windowed replan loop + conservation gate
 package main
 
 import (
@@ -18,6 +19,8 @@ import (
 	"time"
 
 	"e3/internal/experiments"
+	"e3/internal/forecast"
+	"e3/internal/replan"
 	"e3/internal/telemetry"
 )
 
@@ -29,6 +32,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	traceOut := flag.String("trace-out", "", "run the traced demo and write its Chrome trace-event timeline to FILE (load at ui.perfetto.dev); exits nonzero if the run fails its audit")
 	benchOut := flag.String("bench-out", "", "run the traced demo and write machine-readable stats (throughput, latency quantiles, per-split utilization, telemetry overhead) to FILE")
+	windows := flag.Int("windows", 0, "run the windowed replan loop (drifting mix, ARIMA vs persistence on the same seed) for N windows; combines with -audit (conservation gate), -bench-out, and -trace-out")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
@@ -40,6 +44,10 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *windows > 0 {
+		os.Exit(runReplan(*windows, *auditRun, *benchOut, *traceOut))
 	}
 
 	if *traceOut != "" || *benchOut != "" {
@@ -250,4 +258,143 @@ func exportBench(path string) error {
 	fmt.Printf("wrote benchmark stats to %s (throughput %.1f req/s, p99 %.1fms, telemetry overhead %.1f%%)\n",
 		path, out.ThroughputRPS, out.P99MS, out.TelemetryOverheadPct)
 	return nil
+}
+
+// replanReport is the machine-readable -windows -bench-out payload.
+type replanReport struct {
+	Experiment string  `json:"experiment"`
+	Windows    int     `json:"windows"`
+	WindowDurS float64 `json:"window_dur_s"`
+	Seed       int64   `json:"seed"`
+
+	Replans     int      `json:"replans"`
+	PlanChanges int      `json:"plan_changes"`
+	FinalPlan   string   `json:"final_plan"`
+	PlanDiffs   []string `json:"plan_diffs"`
+
+	// Forecast accuracy of the primary (ARIMA) run vs. the persistence
+	// baseline on the same seed and workload drift.
+	ForecastMAEARIMA       float64 `json:"forecast_mae_arima"`
+	ForecastMAEPersistence float64 `json:"forecast_mae_persistence"`
+	ARIMABeatsPersistence  bool    `json:"arima_beats_persistence"`
+
+	AuditSamples    int `json:"audit_samples"`
+	AuditCompleted  int `json:"audit_completed"`
+	AuditDropped    int `json:"audit_dropped"`
+	AuditViolations int `json:"audit_violations"`
+
+	PerWindow []replan.WindowStat `json:"per_window"`
+}
+
+// runReplan drives the windowed predict→plan→serve→observe loop on the
+// drifting-mix demo, prints the per-window table, and returns the process
+// exit code. auditGate makes any conservation or reconcile violation
+// fatal (the `make verify` gate).
+func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
+	var tr *telemetry.Tracer
+	if tracePath != "" {
+		tr = telemetry.New()
+	}
+	start := time.Now()
+	res, err := replan.Run(replan.DriftingDemo(windows, forecast.MethodARIMA, tr))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	// Persistence baseline: same seed, same drift, forecaster swapped.
+	base, err := replan.Run(replan.DriftingDemo(windows, forecast.MethodPersistence, nil))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+
+	fmt.Printf("replan loop: %d windows x 2s virtual (drifting mix, ARIMA forecaster)\n\n", windows)
+	fmt.Printf("%-7s %-10s %-9s %-9s %-8s %-8s %s\n",
+		"window", "goodput/s", "slo-att", "fcst-mae", "drift", "replan", "plan")
+	for _, ws := range res.Windows {
+		mark := "-"
+		switch {
+		case ws.PlanChanged:
+			mark = "CHANGED"
+		case ws.Replanned:
+			mark = "kept"
+		}
+		fmt.Printf("%-7d %-10.0f %-9.3f %-9.4f %-8.3f %-8v %s\n",
+			ws.Window, ws.Goodput, ws.SLOAttainment, ws.ForecastMAE, ws.Drift, ws.Replanned, mark)
+	}
+	fmt.Println()
+	for _, d := range res.Diffs.Items() {
+		fmt.Println(d.String())
+	}
+	fmt.Printf("\nreplans: %d (%d plan changes); final plan: %s\n", res.Replans, res.PlanChanges, res.FinalPlan)
+	fmt.Printf("forecast MAE: arima %.4f vs persistence %.4f\n", res.MeanForecastMAE, base.MeanForecastMAE)
+	fmt.Printf("%s\n", res.Report)
+	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
+
+	if tracePath != "" {
+		f, ferr := os.Create(tracePath)
+		if ferr == nil {
+			ferr = telemetry.WriteChrome(f, tr.Spans())
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+			return 1
+		}
+		fmt.Printf("wrote %d spans to %s\n", len(tr.Spans()), tracePath)
+	}
+	if benchPath != "" {
+		out := replanReport{
+			Experiment:             "replan-loop (BERT-Base DeeBERT, V100x8, easy mix 0.9->0.3)",
+			Windows:                windows,
+			WindowDurS:             2.0,
+			Seed:                   424242,
+			Replans:                res.Replans,
+			PlanChanges:            res.PlanChanges,
+			FinalPlan:              res.FinalPlan.String(),
+			PlanDiffs:              []string{},
+			ForecastMAEARIMA:       res.MeanForecastMAE,
+			ForecastMAEPersistence: base.MeanForecastMAE,
+			ARIMABeatsPersistence:  res.MeanForecastMAE < base.MeanForecastMAE,
+			AuditSamples:           res.Report.Samples,
+			AuditCompleted:         res.Report.Completed,
+			AuditDropped:           res.Report.Dropped,
+			AuditViolations:        len(res.Report.Violations),
+			PerWindow:              res.Windows,
+		}
+		for _, d := range res.Diffs.Items() {
+			out.PlanDiffs = append(out.PlanDiffs, d.String())
+		}
+		f, ferr := os.Create(benchPath)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+			return 1
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		ferr = enc.Encode(out)
+		if cerr := f.Close(); ferr == nil {
+			ferr = cerr
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+			return 1
+		}
+		fmt.Printf("wrote replan stats to %s\n", benchPath)
+	}
+
+	if auditGate {
+		if err := res.Report.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", err)
+			return 1
+		}
+		if err := base.Report.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench: persistence baseline:", err)
+			return 1
+		}
+		fmt.Println("audit: ok (sample lifecycle conserved across all plan switches)")
+	}
+	return 0
 }

@@ -32,6 +32,8 @@ func main() {
 	noMP := flag.Bool("no-model-parallel", false, "ablation: serialize splits")
 	noPipe := flag.Bool("no-pipelining", false, "ablation: disable pipelining")
 	jsonOut := flag.Bool("json", false, "emit the plan as JSON (for pinning/diffing deployments)")
+	explain := flag.Bool("explain", false, "print the search provenance: candidates enumerated, rejections by reason, winner and runners-up")
+	explainJSON := flag.String("explain-json", "", "write the machine-readable search trace to FILE")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, *entropy)
@@ -47,16 +49,41 @@ func main() {
 	clus := cluster.New(counts, 2)
 	prof := profile.FromDist(m, workload.Mix(*easy), 8000, 1)
 
+	var trace *optimizer.SearchTrace
+	if *explain || *explainJSON != "" {
+		trace = &optimizer.SearchTrace{}
+	}
 	cfg := optimizer.Config{
 		Model: m, Profile: prof, Batch: *batch, Cluster: clus,
 		SLO: slo.Seconds(), SlackFrac: 0.2,
 		Pipelining: !*noPipe, ModelParallel: !*noMP,
 		DisableInteriorRamps: *wrapper,
+		Trace:                trace,
 	}
 	start := time.Now()
 	plan, err := optimizer.MaximizeGoodput(cfg)
 	elapsed := time.Since(start)
+	if *explainJSON != "" {
+		f, ferr := os.Create(*explainJSON)
+		if ferr == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			ferr = enc.Encode(trace)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "e3-optimize:", ferr)
+			os.Exit(1)
+		}
+	}
 	if err != nil {
+		// With -explain the trace still explains *why* nothing was
+		// feasible.
+		if *explain {
+			trace.WriteExplain(os.Stdout)
+		}
 		fmt.Fprintln(os.Stderr, "e3-optimize:", err)
 		os.Exit(1)
 	}
@@ -79,5 +106,9 @@ func main() {
 	for _, s := range plan.Splits {
 		fmt.Printf("[%2d..%2d]   %-8s %-9d %-10.1f %-12.2f %-10.2f\n",
 			s.From, s.To, s.Kind, s.Replicas, float64(plan.Batch)*s.Survival, s.StageTime*1e3, s.CommTime*1e3)
+	}
+	if *explain {
+		fmt.Println()
+		trace.WriteExplain(os.Stdout)
 	}
 }

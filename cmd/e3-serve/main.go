@@ -25,8 +25,10 @@ import (
 
 	"e3/internal/cliutil"
 	"e3/internal/cluster"
+	"e3/internal/forecast"
 	"e3/internal/optimizer"
 	"e3/internal/profile"
+	"e3/internal/replan"
 	"e3/internal/serving"
 	"e3/internal/telemetry"
 	"e3/internal/workload"
@@ -41,6 +43,7 @@ func main() {
 	easy := flag.Float64("easy", 0.8, "easy fraction of the expected workload")
 	auditBoot := flag.Bool("audit", false, "verify the plan with a boot-time lifecycle conservation audit and expose it via /v1/stats")
 	traceRing := flag.Int("trace-ring", 4096, "retain the most recent N spans of the boot-time simulated run for /metrics and /v1/trace (0 disables boot telemetry)")
+	replanWindows := flag.Int("replan-windows", 0, "run the windowed replan loop for N windows at boot and expose its provenance, forecast telemetry, and plan-diff history via /v1/plan and /metrics")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, 0.4)
@@ -56,9 +59,11 @@ func main() {
 	clus := cluster.New(counts, 2)
 
 	prof := profile.FromDist(m, workload.Mix(*easy), 8000, 1)
+	bootTrace := &optimizer.SearchTrace{}
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: *batch, Cluster: clus,
 		SLO: slo.Seconds(), SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		Trace: bootTrace,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "e3-serve: planning failed:", err)
@@ -66,7 +71,46 @@ func main() {
 	}
 	log.Printf("e3-serve: %s", plan)
 
+	// The boot plan's search provenance is always exposed; a replan loop
+	// replaces it with the last invocation's trace plus the diff history.
+	cp := &serving.ControlPlane{Provenance: bootTrace}
+	if *replanWindows > 0 {
+		// Drive the windowed predict→plan→serve→observe loop on this
+		// deployment with the easy fraction drifting away from the boot
+		// assumption, then serve the loop's final (adapted) plan.
+		res, err := replan.Run(replan.Config{
+			Model: m, Cluster: clus, Batch: *batch, SLO: slo.Seconds(),
+			Windows: *replanWindows, WindowDur: 2.0,
+			AvgRate: plan.Goodput, Seed: 424242, DriftThreshold: 0.05,
+			Workload: func(w int) workload.Dist {
+				frac := *easy
+				if *replanWindows > 1 {
+					frac -= (*easy - 0.3) * float64(w) / float64(*replanWindows-1)
+				}
+				return workload.Mix(frac)
+			},
+			Method: forecast.MethodARIMA,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-serve: replan loop failed:", err)
+			os.Exit(1)
+		}
+		if !res.Report.OK() {
+			fmt.Fprintln(os.Stderr, "e3-serve: refusing to serve a replan loop that fails conservation")
+			os.Exit(1)
+		}
+		log.Printf("e3-serve: replan loop: %d windows, %d replans (%d plan changes), forecast MAE %.4f",
+			*replanWindows, res.Replans, res.PlanChanges, res.MeanForecastMAE)
+		plan = res.FinalPlan
+		log.Printf("e3-serve: serving adapted plan: %s", plan)
+		cp = &serving.ControlPlane{
+			Provenance: res.Provenance, Forecast: res.Forecast,
+			Diffs: res.Diffs, Replans: res.Replans, PlanChanges: res.PlanChanges,
+		}
+	}
+
 	api := serving.NewAPI(m, plan)
+	api.AttachControlPlane(cp)
 	var tr *telemetry.Tracer
 	if *traceRing > 0 {
 		tr = telemetry.NewRing(*traceRing)

@@ -37,6 +37,7 @@ var EventLoop = &Analyzer{
 		"e3/internal/scheduler",
 		"e3/internal/serving",
 		"e3/internal/telemetry",
+		"e3/internal/replan",
 	),
 	Run: runEventLoop,
 }

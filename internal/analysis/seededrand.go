@@ -48,6 +48,7 @@ var SeededRand = &Analyzer{
 		"e3/internal/profile",
 		"e3/internal/ee",
 		"e3/internal/llm",
+		"e3/internal/replan",
 	),
 	Run: runSeededRand,
 }

@@ -46,6 +46,7 @@ var VirtualTime = &Analyzer{
 		"e3/internal/experiments",
 		"e3/internal/core",
 		"e3/internal/telemetry",
+		"e3/internal/replan",
 	),
 	Run: runVirtualTime,
 }

@@ -27,6 +27,11 @@ type Estimator struct {
 	// MaxHistory bounds the sliding window of retained observations.
 	MaxHistory int
 
+	// Stats optionally accumulates forecast-accuracy telemetry (residuals,
+	// clamp/fallback counters). Nil (the default) records nothing at zero
+	// cost.
+	Stats *Stats
+
 	histories [][]float64 // per layer (0-based k-1), survival series
 }
 
@@ -40,8 +45,10 @@ func NewEstimator(l int) *Estimator {
 	return e
 }
 
-// Observe appends one window's measured survival profile.
+// Observe appends one window's measured survival profile. When Stats is
+// attached, the observation also scores the pending Predict output.
 func (e *Estimator) Observe(p profile.Batch) {
+	e.Stats.observed(p)
 	for k := 1; k <= e.L; k++ {
 		h := append(e.histories[k-1], p.At(k))
 		if len(h) > e.MaxHistory {
@@ -62,11 +69,27 @@ func (e *Estimator) Observations() int {
 // Predict forecasts the next window's survival profile. With no history it
 // returns an all-survive profile (conservative: plans like a non-EE
 // model); with short history it falls back to persistence.
+//
+// Each layer forecasts independently, so per-layer drift can produce
+// survival that *increases* with depth — an impossible profile. The
+// cross-layer safety check repairs that with a running-min clamp before
+// the profile reaches the planner.
 func (e *Estimator) Predict() profile.Batch {
 	surv := make([]float64, e.L)
 	for k := 0; k < e.L; k++ {
 		surv[k] = e.predictLayer(e.histories[k])
 	}
+	fixed := false
+	for k := 1; k < e.L; k++ {
+		if surv[k] > surv[k-1] {
+			surv[k] = surv[k-1]
+			fixed = true
+		}
+	}
+	if fixed {
+		e.Stats.monotoneFixed()
+	}
+	e.Stats.predicted(surv)
 	return profile.NewBatch(surv)
 }
 
@@ -75,11 +98,16 @@ func (e *Estimator) predictLayer(h []float64) float64 {
 		return 1
 	}
 	last := h[len(h)-1]
-	if e.Method == MethodPersistence || len(h) < e.P+e.D+e.Q+4 {
+	if e.Method == MethodPersistence {
+		return last
+	}
+	if len(h) < e.P+e.D+e.Q+4 {
+		e.Stats.persistenceFallback()
 		return last
 	}
 	m, err := FitARIMA(h, e.P, e.D, e.Q)
 	if err != nil {
+		e.Stats.fitFailure()
 		return last
 	}
 	pred := m.Forecast(1)[0]
@@ -87,6 +115,7 @@ func (e *Estimator) predictLayer(h []float64) float64 {
 	// behaviour moves slowly between 2-minute windows, so a forecast far
 	// from the last observation is a bad fit, not a real shift — bound it
 	// to ±0.15 of the last value.
+	raw := pred
 	if pred > last+0.15 {
 		pred = last + 0.15
 	}
@@ -98,6 +127,9 @@ func (e *Estimator) predictLayer(h []float64) float64 {
 	}
 	if pred > 1 {
 		pred = 1
+	}
+	if pred != raw {
+		e.Stats.clampHit()
 	}
 	return pred
 }

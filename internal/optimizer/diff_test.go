@@ -1,0 +1,120 @@
+package optimizer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"e3/internal/gpu"
+)
+
+func planWith(splits ...Split) Plan {
+	gpus := 0
+	for _, s := range splits {
+		gpus += s.Replicas
+	}
+	return Plan{Splits: splits, Goodput: 1000, GPUs: gpus, Batch: 8}
+}
+
+func TestDiffPlansUnchanged(t *testing.T) {
+	p := planWith(
+		Split{From: 1, To: 2, Kind: gpu.V100, Replicas: 5},
+		Split{From: 3, To: 12, Kind: gpu.V100, Replicas: 3},
+	)
+	d := DiffPlans(p, p)
+	if d.Changed {
+		t.Fatalf("identical plans reported changed: %v", d)
+	}
+	if !strings.Contains(d.String(), "plan unchanged") {
+		t.Errorf("unchanged diff string: %q", d.String())
+	}
+}
+
+func TestDiffPlansInitial(t *testing.T) {
+	p := planWith(Split{From: 1, To: 12, Kind: gpu.V100, Replicas: 8})
+	d := DiffPlans(Plan{}, p)
+	if !d.Changed {
+		t.Fatal("initial plan not flagged as a change")
+	}
+	if len(d.KindChanges) != 1 || !strings.Contains(d.KindChanges[0], "added") {
+		t.Errorf("initial diff kind changes: %v", d.KindChanges)
+	}
+}
+
+func TestDiffPlansStructured(t *testing.T) {
+	old := planWith(
+		Split{From: 1, To: 2, Kind: gpu.V100, Replicas: 5},
+		Split{From: 3, To: 12, Kind: gpu.V100, Replicas: 3},
+	)
+	new := planWith(
+		Split{From: 1, To: 3, Kind: gpu.P100, Replicas: 6},
+		Split{From: 4, To: 12, Kind: gpu.V100, Replicas: 2},
+	)
+	d := DiffPlans(old, new)
+	if !d.Changed || !d.BoundsMoved {
+		t.Fatalf("expected moved bounds: %v", d)
+	}
+	if !reflect.DeepEqual(d.OldBounds, []int{2}) || !reflect.DeepEqual(d.NewBounds, []int{3}) {
+		t.Errorf("bounds %v -> %v", d.OldBounds, d.NewBounds)
+	}
+	if len(d.KindChanges) != 1 || d.KindChanges[0] != "s0: V100->P100" {
+		t.Errorf("kind changes: %v", d.KindChanges)
+	}
+	if len(d.ReplicaChanges) != 2 {
+		t.Errorf("replica changes: %v", d.ReplicaChanges)
+	}
+	s := d.String()
+	for _, want := range []string{"bounds [2]->[3]", "V100->P100", "s1: 3->2", "gpus 8->8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diff string missing %q: %q", want, s)
+		}
+	}
+}
+
+func TestDiffPlansSplitCountChange(t *testing.T) {
+	old := planWith(Split{From: 1, To: 12, Kind: gpu.V100, Replicas: 8})
+	new := planWith(
+		Split{From: 1, To: 2, Kind: gpu.V100, Replicas: 5},
+		Split{From: 3, To: 12, Kind: gpu.V100, Replicas: 3},
+	)
+	d := DiffPlans(old, new)
+	if !d.Changed || !d.BoundsMoved {
+		t.Fatalf("repartition not flagged: %v", d)
+	}
+	found := false
+	for _, c := range d.KindChanges {
+		if strings.Contains(c, "added") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("added split not recorded: %v", d.KindChanges)
+	}
+}
+
+func TestDiffRingBoundedAndOrdered(t *testing.T) {
+	r := NewDiffRing(3)
+	for i := 0; i < 5; i++ {
+		r.Push(PlanDiff{Window: i})
+	}
+	if r.Total() != 5 || r.Evicted() != 2 {
+		t.Fatalf("total=%d evicted=%d", r.Total(), r.Evicted())
+	}
+	items := r.Items()
+	if len(items) != 3 {
+		t.Fatalf("retained %d items", len(items))
+	}
+	for i, d := range items {
+		if d.Window != i+2 {
+			t.Errorf("item %d is window %d, want %d (oldest-first)", i, d.Window, i+2)
+		}
+	}
+}
+
+func TestDiffRingNilSafe(t *testing.T) {
+	var r *DiffRing
+	r.Push(PlanDiff{})
+	if r.Items() != nil || r.Total() != 0 || r.Evicted() != 0 {
+		t.Error("nil ring not inert")
+	}
+}

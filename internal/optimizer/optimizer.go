@@ -55,6 +55,11 @@ type Config struct {
 	// MinExitFrac prunes boundary candidates with less predicted exit
 	// mass (default 0.02).
 	MinExitFrac float64
+
+	// Trace optionally records the search's provenance — candidates
+	// enumerated, rejections by reason, and the winner with runners-up.
+	// Nil (the default) records nothing at zero cost.
+	Trace *SearchTrace
 }
 
 func (c *Config) withDefaults() Config {
@@ -165,6 +170,9 @@ func MaximizeGoodput(cfg Config) (Plan, error) {
 	if err := cfg.validate(); err != nil {
 		return Plan{}, err
 	}
+	cfg.Trace.begin(cfg, "max-goodput", 0,
+		func(a, b Plan) bool { return a.Goodput > b.Goodput },
+		func(p Plan) float64 { return p.Goodput })
 	best := Plan{}
 	found := false
 	forEachCandidate(cfg, func(p Plan) {
@@ -173,9 +181,14 @@ func MaximizeGoodput(cfg Config) (Plan, error) {
 			found = true
 		}
 	})
+	var err error
 	if !found {
-		return Plan{}, fmt.Errorf("optimizer: no feasible plan for batch %d under SLO %.0fms",
+		err = fmt.Errorf("optimizer: no feasible plan for batch %d under SLO %.0fms",
 			cfg.Batch, cfg.SLO*1e3)
+	}
+	cfg.Trace.finish(best, found, err)
+	if err != nil {
+		return Plan{}, err
 	}
 	return best, nil
 }
@@ -187,19 +200,26 @@ func MinimizeGPUs(cfg Config, target float64) (Plan, error) {
 	if err := cfg.validate(); err != nil {
 		return Plan{}, err
 	}
+	betterGPUs := func(a, b Plan) bool {
+		return a.GPUs < b.GPUs || (a.GPUs == b.GPUs && a.Goodput > b.Goodput)
+	}
+	cfg.Trace.begin(cfg, "min-gpus", target, betterGPUs,
+		func(p Plan) float64 { return float64(p.GPUs) })
 	best := Plan{GPUs: math.MaxInt}
 	found := false
 	forEachCandidateMinimal(cfg, target, func(p Plan) {
-		if p.Goodput < target {
-			return
-		}
-		if p.GPUs < best.GPUs || (p.GPUs == best.GPUs && p.Goodput > best.Goodput) {
+		if betterGPUs(p, best) {
 			best = p
 			found = true
 		}
 	})
+	var err error
 	if !found {
-		return Plan{}, fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d", target, cfg.Batch)
+		err = fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d", target, cfg.Batch)
+	}
+	cfg.Trace.finish(best, found, err)
+	if err != nil {
+		return Plan{}, err
 	}
 	return best, nil
 }
@@ -211,19 +231,26 @@ func MinimizeCost(cfg Config, target float64) (Plan, error) {
 	if err := cfg.validate(); err != nil {
 		return Plan{}, err
 	}
+	betterCost := func(a, b Plan) bool {
+		return a.CostPerSec < b.CostPerSec || (a.CostPerSec == b.CostPerSec && a.Goodput > b.Goodput)
+	}
+	cfg.Trace.begin(cfg, "min-cost", target, betterCost,
+		func(p Plan) float64 { return p.CostPerSec })
 	best := Plan{CostPerSec: math.Inf(1)}
 	found := false
 	forEachCandidateMinimal(cfg, target, func(p Plan) {
-		if p.Goodput < target {
-			return
-		}
-		if p.CostPerSec < best.CostPerSec || (p.CostPerSec == best.CostPerSec && p.Goodput > best.Goodput) {
+		if betterCost(p, best) {
 			best = p
 			found = true
 		}
 	})
+	var err error
 	if !found {
-		return Plan{}, fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d within cost search", target, cfg.Batch)
+		err = fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d within cost search", target, cfg.Batch)
+	}
+	cfg.Trace.finish(best, found, err)
+	if err != nil {
+		return Plan{}, err
 	}
 	return best, nil
 }
@@ -236,10 +263,13 @@ func boundaryCandidates(cfg Config) []int {
 		mass float64
 	}
 	var cands []cand
+	pruned := 0
 	for _, r := range cfg.Model.ActiveRamps() {
 		mass := cfg.Profile.At(r) - cfg.Profile.After(r)
 		if mass >= cfg.MinExitFrac {
 			cands = append(cands, cand{r, mass})
+		} else {
+			pruned++
 		}
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -249,7 +279,9 @@ func boundaryCandidates(cfg Config) []int {
 		return cands[i].pos < cands[j].pos
 	})
 	const maxCands = 10
+	capped := 0
 	if len(cands) > maxCands {
+		capped = len(cands) - maxCands
 		cands = cands[:maxCands]
 	}
 	out := make([]int, len(cands))
@@ -257,6 +289,7 @@ func boundaryCandidates(cfg Config) []int {
 		out[i] = c.pos
 	}
 	sort.Ints(out)
+	cfg.Trace.ramps(out, pruned, capped)
 	return out
 }
 
@@ -264,19 +297,33 @@ func boundaryCandidates(cfg Config) []int {
 // replica allocation and reports feasible plans.
 func forEachCandidate(cfg Config, emit func(Plan)) {
 	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
-		if p, ok := evaluateMaxRate(cfg, bounds, kinds); ok {
-			emit(p)
+		cfg.Trace.candidate()
+		p, reject := evaluateMaxRate(cfg, bounds, kinds)
+		if reject != "" {
+			cfg.Trace.reject(reject)
+			return
 		}
+		cfg.Trace.feasible(p)
+		emit(p)
 	})
 }
 
 // forEachCandidateMinimal evaluates partitions with the *minimal* replica
-// counts achieving the target rate.
+// counts achieving the target rate; candidates below the target are
+// rejected here so the trace accounts them.
 func forEachCandidateMinimal(cfg Config, target float64, emit func(Plan)) {
 	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
-		if p, ok := evaluateMinAlloc(cfg, bounds, kinds, target); ok {
-			emit(p)
+		cfg.Trace.candidate()
+		p, reject := evaluateMinAlloc(cfg, bounds, kinds, target)
+		if reject == "" && p.Goodput < target {
+			reject = RejectRate
 		}
+		if reject != "" {
+			cfg.Trace.reject(reject)
+			return
+		}
+		cfg.Trace.feasible(p)
+		emit(p)
 	})
 }
 
@@ -424,11 +471,12 @@ func workPerSample(s Split, batch int, pipelined bool) float64 {
 }
 
 // evaluateMaxRate allocates every available GPU greedily to the bottleneck
-// split and reports the resulting plan.
-func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, bool) {
+// split and reports the resulting plan, or the reason the candidate was
+// rejected ("" means feasible).
+func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, RejectReason) {
 	splits := stageGeometry(cfg, bounds, kinds)
 	if !partitionFits(cfg, splits) {
-		return Plan{}, false
+		return Plan{}, RejectMemory
 	}
 	if !cfg.ModelParallel {
 		return evaluateSerial(cfg, splits)
@@ -438,7 +486,7 @@ func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, bool) {
 	// Start with one replica each; infeasible if kinds are short.
 	for i := range splits {
 		if avail[splits[i].Kind] == 0 {
-			return Plan{}, false
+			return Plan{}, RejectReplicas
 		}
 		avail[splits[i].Kind]--
 		splits[i].Replicas = 1
@@ -469,15 +517,15 @@ func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, bool) {
 }
 
 // evaluateMinAlloc gives each split exactly the replicas needed for the
-// target rate.
-func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64) (Plan, bool) {
+// target rate, reporting the rejection reason ("" means feasible; the
+// caller still checks the achieved rate against the target).
+func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64) (Plan, RejectReason) {
 	splits := stageGeometry(cfg, bounds, kinds)
 	if !partitionFits(cfg, splits) {
-		return Plan{}, false
+		return Plan{}, RejectMemory
 	}
 	if !cfg.ModelParallel {
-		p, ok := evaluateSerial(cfg, splits)
-		return p, ok && p.Goodput >= target
+		return evaluateSerial(cfg, splits)
 	}
 	avail := cfg.Cluster.Counts()
 	for i := range splits {
@@ -487,7 +535,7 @@ func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64
 			need = 1
 		}
 		if avail[splits[i].Kind] < need {
-			return Plan{}, false
+			return Plan{}, RejectReplicas
 		}
 		avail[splits[i].Kind] -= need
 		splits[i].Replicas = need
@@ -501,10 +549,10 @@ func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64
 // batches while the remaining GPUs idle, and so on. Each phase costs its
 // full stage time regardless of how many GPUs still have work, which is
 // exactly the utilization loss model parallelism removes.
-func evaluateSerial(cfg Config, splits []Split) (Plan, bool) {
+func evaluateSerial(cfg Config, splits []Split) (Plan, RejectReason) {
 	g := cfg.Cluster.Size()
 	if g == 0 {
-		return Plan{}, false
+		return Plan{}, RejectReplicas
 	}
 	const barrier = 1e-3 // global synchronization per stage transition
 	round := 0.0
@@ -516,12 +564,12 @@ func evaluateSerial(cfg Config, splits []Split) (Plan, bool) {
 		}
 	}
 	if round <= 0 {
-		return Plan{}, false
+		return Plan{}, RejectDegenerate
 	}
 	goodput := float64(g) * float64(cfg.Batch) / round
 	lat := round
 	if lat > cfg.SLO*(1-cfg.SlackFrac) {
-		return Plan{}, false
+		return Plan{}, RejectSLO
 	}
 	cost := 0.0
 	for _, d := range cfg.Cluster.Devices {
@@ -532,11 +580,12 @@ func evaluateSerial(cfg Config, splits []Split) (Plan, bool) {
 		Batch: cfg.Batch, GPUs: g, CostPerSec: cost,
 		DisabledInteriorRamps: cfg.DisableInteriorRamps,
 		Pipelined:             false, ModelParallel: false,
-	}, true
+	}, ""
 }
 
-// finishPlan derives rate, latency, and cost, and applies the SLO check.
-func finishPlan(cfg Config, splits []Split) (Plan, bool) {
+// finishPlan derives rate, latency, and cost, and applies the SLO check,
+// reporting why the candidate died ("" means feasible).
+func finishPlan(cfg Config, splits []Split) (Plan, RejectReason) {
 	goodput := math.Inf(1)
 	cycle := 0.0
 	latency := 0.0
@@ -579,15 +628,15 @@ func finishPlan(cfg Config, splits []Split) (Plan, bool) {
 		latency += cycle
 	}
 	if latency > cfg.SLO*(1-cfg.SlackFrac) {
-		return Plan{}, false
+		return Plan{}, RejectSLO
 	}
 	if math.IsInf(goodput, 1) {
-		return Plan{}, false
+		return Plan{}, RejectDegenerate
 	}
 	return Plan{
 		Splits: splits, Goodput: goodput, CycleTime: cycle, Latency: latency,
 		Batch: cfg.Batch, GPUs: gpus, CostPerSec: cost,
 		DisabledInteriorRamps: cfg.DisableInteriorRamps,
 		Pipelined:             cfg.Pipelining, ModelParallel: true,
-	}, true
+	}, ""
 }

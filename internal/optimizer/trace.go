@@ -1,0 +1,289 @@
+package optimizer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RejectReason classifies why the search discarded a candidate plan.
+type RejectReason string
+
+// Rejection reasons. Every enumerated candidate either survives as a
+// feasible plan or is rejected for exactly one of these, so the trace's
+// accounting identity (sum of reasons + feasible == enumerated) holds.
+const (
+	// RejectMemory: some split does not fit its assigned GPU kind
+	// (SplitFits failed).
+	RejectMemory RejectReason = "memory-misfit"
+	// RejectReplicas: the cluster cannot supply even the minimum replica
+	// counts for the candidate's kind assignment.
+	RejectReplicas RejectReason = "replica-shortage"
+	// RejectSLO: the candidate's end-to-end latency exceeds SLO minus
+	// slack.
+	RejectSLO RejectReason = "slo-violation"
+	// RejectRate: the candidate is feasible but sustains less than the
+	// target rate (minimizing objectives only).
+	RejectRate RejectReason = "below-target-rate"
+	// RejectDegenerate: the candidate produced no forward progress (zero
+	// stage times or an empty cluster).
+	RejectDegenerate RejectReason = "degenerate"
+)
+
+// rejectOrder fixes the rendering order of reasons in Explain output.
+var rejectOrder = []RejectReason{
+	RejectMemory, RejectReplicas, RejectSLO, RejectRate, RejectDegenerate,
+}
+
+// maxRunnersUp bounds how many losing candidates the trace retains with
+// scores.
+const maxRunnersUp = 5
+
+// ScoredPlan is one retained candidate with its objective score (goodput
+// for max-goodput, device count for min-gpus, $/s for min-cost).
+type ScoredPlan struct {
+	Plan  Plan    `json:"plan"`
+	Score float64 `json:"score"`
+}
+
+// SearchTrace records one planning invocation's search: the input
+// snapshot, how many candidates were enumerated and why the losers lost,
+// and the winner with its top runners-up. Attach one via Config.Trace.
+//
+// Like audit.Ledger and telemetry.Tracer, a nil *SearchTrace is valid and
+// records nothing, so the planner's hot path pays nothing when provenance
+// is off. A SearchTrace is single-use: attach a fresh one per planning
+// call.
+type SearchTrace struct {
+	// Input snapshot.
+	Objective  string         `json:"objective"`
+	Model      string         `json:"model"`
+	Layers     int            `json:"layers"`
+	Batch      int            `json:"batch"`
+	SLO        float64        `json:"slo_s"`
+	SlackFrac  float64        `json:"slack_frac"`
+	TargetRate float64        `json:"target_rate,omitempty"`
+	Profile    []float64      `json:"profile"`
+	Cluster    map[string]int `json:"cluster"`
+
+	// Boundary-candidate pruning (§3.2's first filter).
+	RampCandidates []int `json:"ramp_candidates"`
+	PrunedRamps    int   `json:"ramps_pruned_below_min_exit"`
+	CappedRamps    int   `json:"ramps_capped"`
+
+	// Candidate accounting: Enumerated == sum(Rejected) + Feasible.
+	Enumerated int                  `json:"candidates_enumerated"`
+	Rejected   map[RejectReason]int `json:"rejected_by_reason"`
+	Feasible   int                  `json:"feasible"`
+	// Beaten counts feasible candidates that lost to the winner on the
+	// objective (Feasible - 1 when a winner exists).
+	Beaten int `json:"beaten"`
+
+	Winner    *Plan        `json:"winner,omitempty"`
+	RunnersUp []ScoredPlan `json:"runners_up"`
+	// Err records the planner's failure when no feasible plan existed.
+	Err string `json:"error,omitempty"`
+
+	// top retains the best candidates seen, winner first, under better.
+	top    []ScoredPlan
+	better func(a, b Plan) bool
+	score  func(Plan) float64
+}
+
+// begin snapshots the planning inputs and installs the objective's
+// comparator. cfg must already have defaults applied.
+func (t *SearchTrace) begin(cfg Config, objective string, target float64,
+	better func(a, b Plan) bool, score func(Plan) float64) {
+	if t == nil {
+		return
+	}
+	t.Objective = objective
+	t.TargetRate = target
+	t.Model = cfg.Model.Name
+	t.Layers = cfg.Model.Base.NumLayers()
+	t.Batch = cfg.Batch
+	t.SLO = cfg.SLO
+	t.SlackFrac = cfg.SlackFrac
+	t.Profile = make([]float64, t.Layers)
+	for k := 1; k <= t.Layers; k++ {
+		t.Profile[k-1] = cfg.Profile.At(k)
+	}
+	t.Cluster = make(map[string]int)
+	for kind, n := range cfg.Cluster.Counts() {
+		t.Cluster[string(kind)] = n
+	}
+	t.Rejected = make(map[RejectReason]int)
+	t.RunnersUp = []ScoredPlan{}
+	t.better = better
+	t.score = score
+}
+
+// ramps records the boundary-candidate filter's outcome.
+func (t *SearchTrace) ramps(cands []int, pruned, capped int) {
+	if t == nil {
+		return
+	}
+	t.RampCandidates = append([]int(nil), cands...)
+	t.PrunedRamps = pruned
+	t.CappedRamps = capped
+}
+
+// candidate counts one enumerated partition × kind assignment.
+func (t *SearchTrace) candidate() {
+	if t == nil {
+		return
+	}
+	t.Enumerated++
+}
+
+// reject classifies one enumerated candidate's elimination.
+func (t *SearchTrace) reject(r RejectReason) {
+	if t == nil {
+		return
+	}
+	t.Rejected[r]++
+}
+
+// feasible records one surviving candidate, keeping the best few ranked
+// by the objective comparator. Insertion preserves first-seen order on
+// ties, mirroring the planner's own "strictly better replaces" rule, so
+// top[0] is always the plan the planner will pick.
+func (t *SearchTrace) feasible(p Plan) {
+	if t == nil {
+		return
+	}
+	t.Feasible++
+	sp := ScoredPlan{Plan: p, Score: t.score(p)}
+	pos := len(t.top)
+	for i := range t.top {
+		if t.better(p, t.top[i].Plan) {
+			pos = i
+			break
+		}
+	}
+	if pos >= maxRunnersUp+1 {
+		return
+	}
+	t.top = append(t.top, ScoredPlan{})
+	copy(t.top[pos+1:], t.top[pos:])
+	t.top[pos] = sp
+	if len(t.top) > maxRunnersUp+1 {
+		t.top = t.top[:maxRunnersUp+1]
+	}
+}
+
+// finish closes the trace with the planner's outcome.
+func (t *SearchTrace) finish(winner Plan, found bool, err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.Err = err.Error()
+	}
+	if found {
+		w := winner
+		t.Winner = &w
+		t.Beaten = t.Feasible - 1
+		if len(t.top) > 1 {
+			t.RunnersUp = append([]ScoredPlan(nil), t.top[1:]...)
+		}
+	}
+}
+
+// Accounted reports the trace's conservation identity: every enumerated
+// candidate was either rejected for exactly one reason or survived as
+// feasible, and every feasible candidate is the winner or beaten.
+func (t *SearchTrace) Accounted() bool {
+	if t == nil {
+		return true
+	}
+	rejected := 0
+	for _, n := range t.Rejected {
+		rejected += n
+	}
+	if rejected+t.Feasible != t.Enumerated {
+		return false
+	}
+	if t.Winner != nil && t.Beaten != t.Feasible-1 {
+		return false
+	}
+	return true
+}
+
+// clusterString renders the cluster snapshot deterministically
+// (kind=count, sorted by kind).
+func (t *SearchTrace) clusterString() string {
+	kinds := make([]string, 0, len(t.Cluster))
+	for k := range t.Cluster {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	out := ""
+	for i, k := range kinds {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%s=%d", k, t.Cluster[k])
+	}
+	return out
+}
+
+// scoreUnit names the objective's score for Explain output.
+func (t *SearchTrace) scoreUnit() string {
+	switch t.Objective {
+	case "min-gpus":
+		return "gpus"
+	case "min-cost":
+		return "$/s"
+	}
+	return "samples/s"
+}
+
+// WriteExplain renders the trace as a human-readable "why this plan won"
+// report.
+func (t *SearchTrace) WriteExplain(w io.Writer) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(w, "search: objective %s, model %s (%d layers), batch %d, SLO %.0fms (slack %.0f%%), cluster %s\n",
+		t.Objective, t.Model, t.Layers, t.Batch, t.SLO*1e3, t.SlackFrac*100, t.clusterString())
+	if t.TargetRate > 0 {
+		fmt.Fprintf(w, "target: %.0f samples/s\n", t.TargetRate)
+	}
+	fmt.Fprintf(w, "ramps:  %d boundary candidate(s) kept (%d pruned below min exit mass, %d capped): %v\n",
+		len(t.RampCandidates), t.PrunedRamps, t.CappedRamps, t.RampCandidates)
+	fmt.Fprintf(w, "enumerated %d candidate(s):\n", t.Enumerated)
+	for _, r := range rejectOrder {
+		if n := t.Rejected[r]; n > 0 {
+			fmt.Fprintf(w, "  %-18s %d\n", string(r), n)
+		}
+	}
+	fmt.Fprintf(w, "  %-18s %d", "feasible", t.Feasible)
+	if t.Winner != nil && t.Beaten > 0 {
+		fmt.Fprintf(w, "  (%d beaten on %s)", t.Beaten, t.scoreUnit())
+	}
+	fmt.Fprintln(w)
+	if t.Winner == nil {
+		fmt.Fprintf(w, "no feasible plan: %s\n", t.Err)
+		return
+	}
+	fmt.Fprintf(w, "winner: %s\n", t.Winner)
+	for i, ru := range t.RunnersUp {
+		fmt.Fprintf(w, "  #%d %s %s", i+2, scoreString(ru.Score, t.Objective), ru.Plan)
+		if t.Objective == "max-goodput" && t.Winner.Goodput > 0 {
+			fmt.Fprintf(w, "  (%.1f%% vs winner)", (ru.Score/t.Winner.Goodput-1)*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// scoreString formats a score with its objective's unit.
+func scoreString(score float64, objective string) string {
+	switch objective {
+	case "min-gpus":
+		return fmt.Sprintf("%.0f gpus", score)
+	case "min-cost":
+		return fmt.Sprintf("$%.5f/s", score)
+	}
+	return fmt.Sprintf("%.0f/s", score)
+}

@@ -1,0 +1,161 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"e3/internal/cluster"
+	"e3/internal/gpu"
+)
+
+// traced runs one planning call with a fresh trace attached and returns
+// both.
+func traced(t *testing.T, cfg Config, run func(Config) (Plan, error)) (Plan, *SearchTrace) {
+	t.Helper()
+	tr := &SearchTrace{}
+	cfg.Trace = tr
+	p, err := run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, tr
+}
+
+// TestTraceAccountingIdentity pins the acceptance criterion: every
+// enumerated candidate is rejected for exactly one reason or survives as
+// feasible, across all three objectives and several cluster shapes.
+func TestTraceAccountingIdentity(t *testing.T) {
+	clusters := map[string]*cluster.Cluster{
+		"v100x16": cluster.Homogeneous(gpu.V100, 16),
+		"v100x2":  cluster.Homogeneous(gpu.V100, 2),
+		"mixed":   cluster.New(map[gpu.Kind]int{gpu.V100: 4, gpu.P100: 4, gpu.K80: 4}, 2),
+	}
+	for name, c := range clusters {
+		for _, easy := range []float64{0.2, 0.8} {
+			cfg := bertConfig(8, easy, c)
+			_, tr := traced(t, cfg, MaximizeGoodput)
+			if !tr.Accounted() {
+				t.Errorf("%s easy=%.1f max-goodput: unaccounted trace: enumerated=%d rejected=%v feasible=%d",
+					name, easy, tr.Enumerated, tr.Rejected, tr.Feasible)
+			}
+			if tr.Enumerated == 0 {
+				t.Errorf("%s easy=%.1f: no candidates enumerated", name, easy)
+			}
+			if tr.Winner == nil {
+				t.Errorf("%s easy=%.1f: plan returned but trace has no winner", name, easy)
+			}
+
+			_, tr2 := traced(t, cfg, func(c Config) (Plan, error) { return MinimizeGPUs(c, 500) })
+			if !tr2.Accounted() {
+				t.Errorf("%s easy=%.1f min-gpus: unaccounted trace: enumerated=%d rejected=%v feasible=%d",
+					name, easy, tr2.Enumerated, tr2.Rejected, tr2.Feasible)
+			}
+			_, tr3 := traced(t, cfg, func(c Config) (Plan, error) { return MinimizeCost(c, 500) })
+			if !tr3.Accounted() {
+				t.Errorf("%s easy=%.1f min-cost: unaccounted trace: enumerated=%d rejected=%v feasible=%d",
+					name, easy, tr3.Enumerated, tr3.Rejected, tr3.Feasible)
+			}
+		}
+	}
+}
+
+// TestTraceAccountingOnFailure: an infeasible problem still accounts every
+// candidate and records the error.
+func TestTraceAccountingOnFailure(t *testing.T) {
+	cfg := bertConfig(8, 0.5, cluster.Homogeneous(gpu.V100, 16))
+	cfg.SLO = 1e-6 // impossible latency bound
+	tr := &SearchTrace{}
+	cfg.Trace = tr
+	if _, err := MaximizeGoodput(cfg); err == nil {
+		t.Fatal("expected no feasible plan")
+	}
+	if !tr.Accounted() {
+		t.Errorf("unaccounted failure trace: enumerated=%d rejected=%v feasible=%d",
+			tr.Enumerated, tr.Rejected, tr.Feasible)
+	}
+	if tr.Winner != nil {
+		t.Error("failure trace has a winner")
+	}
+	if tr.Err == "" {
+		t.Error("failure trace missing error")
+	}
+	if tr.Rejected[RejectSLO] == 0 {
+		t.Errorf("expected SLO rejections, got %v", tr.Rejected)
+	}
+}
+
+// TestTraceWinnerMatchesPlan: the trace's winner and top-ranked candidate
+// are exactly the plan the planner returned.
+func TestTraceWinnerMatchesPlan(t *testing.T) {
+	cfg := bertConfig(8, 0.8, cluster.New(map[gpu.Kind]int{gpu.V100: 4, gpu.K80: 8}, 2))
+	p, tr := traced(t, cfg, MaximizeGoodput)
+	if tr.Winner == nil || tr.Winner.String() != p.String() {
+		t.Fatalf("trace winner %v != returned plan %v", tr.Winner, p)
+	}
+	if tr.Beaten != tr.Feasible-1 {
+		t.Errorf("beaten=%d, want feasible-1=%d", tr.Beaten, tr.Feasible-1)
+	}
+	// Runners-up are ranked: each scores no better than the winner, in
+	// non-improving order under the objective.
+	prev := p.Goodput
+	for i, ru := range tr.RunnersUp {
+		if ru.Score > prev {
+			t.Errorf("runner-up #%d score %.1f beats predecessor %.1f", i, ru.Score, prev)
+		}
+		prev = ru.Score
+	}
+	if len(tr.RunnersUp) > maxRunnersUp {
+		t.Errorf("%d runners-up retained, cap is %d", len(tr.RunnersUp), maxRunnersUp)
+	}
+}
+
+// TestTraceNilSafe: every hook on a nil trace is a no-op; planning without
+// a trace matches planning with one.
+func TestTraceNilSafe(t *testing.T) {
+	var tr *SearchTrace
+	tr.begin(Config{}, "x", 0, nil, nil)
+	tr.ramps(nil, 0, 0)
+	tr.candidate()
+	tr.reject(RejectSLO)
+	tr.feasible(Plan{})
+	tr.finish(Plan{}, true, nil)
+	if !tr.Accounted() {
+		t.Error("nil trace not accounted")
+	}
+	tr.WriteExplain(&strings.Builder{})
+
+	cfg := bertConfig(8, 0.8, cluster.Homogeneous(gpu.V100, 16))
+	plain, err := MaximizeGoodput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTrace, tr2 := traced(t, cfg, MaximizeGoodput)
+	if plain.String() != withTrace.String() {
+		t.Errorf("tracing changed the plan: %v vs %v", plain, withTrace)
+	}
+	_ = tr2
+}
+
+// TestWriteExplainGolden pins the human-readable report for a
+// deterministic planning problem.
+func TestWriteExplainGolden(t *testing.T) {
+	cfg := bertConfig(8, 0.8, cluster.Homogeneous(gpu.V100, 8))
+	_, tr := traced(t, cfg, MaximizeGoodput)
+	var b strings.Builder
+	tr.WriteExplain(&b)
+	got := b.String()
+	for _, want := range []string{
+		"search: objective max-goodput, model DeeBERT (12 layers), batch 8, SLO 100ms (slack 20%), cluster V100=8\n",
+		"enumerated",
+		"feasible",
+		"winner: plan{",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain output missing %q:\n%s", want, got)
+		}
+	}
+	// The report itself must reproduce the accounting identity.
+	if !tr.Accounted() {
+		t.Error("explain golden trace not accounted")
+	}
+}

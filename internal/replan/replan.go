@@ -1,0 +1,282 @@
+// Package replan drives E3's adaptation loop end to end on the sim clock:
+// each scheduling window predicts the next exit profile (§3.1), re-runs
+// the split/replicate planner when the forecast drifts from the plan's
+// assumptions (§3.2), serves the window's arrivals under the active plan,
+// then observes the window's measured profile back into the estimator.
+//
+// One engine, one collector, one lifecycle ledger, and one span tracer
+// persist across every window and plan switch, so the conservation audit
+// and the telemetry reconciliation hold over the whole run — a replan may
+// rebuild the pipeline, but it cannot lose or double-count a sample.
+package replan
+
+import (
+	"fmt"
+
+	"e3/internal/audit"
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/forecast"
+	"e3/internal/gpu"
+	"e3/internal/model"
+	"e3/internal/optimizer"
+	"e3/internal/profile"
+	"e3/internal/scheduler"
+	"e3/internal/serving"
+	"e3/internal/sim"
+	"e3/internal/telemetry"
+	"e3/internal/trace"
+	"e3/internal/workload"
+)
+
+// diffHistory bounds the plan-diff ring a run retains.
+const diffHistory = 32
+
+// Config is one windowed replan run.
+type Config struct {
+	Model   *ee.EEModel
+	Cluster *cluster.Cluster
+	// Batch is B0; SLO the end-to-end deadline (seconds).
+	Batch int
+	SLO   float64
+
+	// Windows is W, the number of scheduling windows; WindowDur each
+	// window's virtual duration (the paper uses 2 minutes; tests use
+	// seconds).
+	Windows   int
+	WindowDur float64
+	// AvgRate is the bursty arrival process's mean rate (samples/s).
+	AvgRate float64
+	Seed    int64
+
+	// DriftThreshold triggers a replan when the forecast profile's max
+	// per-layer deviation from the active plan's assumed profile exceeds
+	// it. Zero replans every window.
+	DriftThreshold float64
+
+	// Workload selects window w's difficulty mix, modelling §5.4-style
+	// shifts. Nil holds Mix(0.8) throughout.
+	Workload func(w int) workload.Dist
+
+	// Method selects the forecaster (ARIMA default, persistence baseline).
+	Method forecast.Method
+
+	// Tracer optionally records spans across the run, including replan
+	// instants on the control-plane track. Nil disables telemetry.
+	Tracer *telemetry.Tracer
+}
+
+// WindowStat is one window's outcome.
+type WindowStat struct {
+	Window int     `json:"window"`
+	Start  float64 `json:"start_s"`
+
+	Served     int `json:"served"`
+	Violations int `json:"violations"`
+	Dropped    int `json:"dropped"`
+	// Goodput is within-SLO completions per second of window time.
+	Goodput float64 `json:"goodput"`
+	// SLOAttainment is served / (served + violations + dropped); 1 when
+	// the window had no outcomes.
+	SLOAttainment float64 `json:"slo_attainment"`
+
+	// ForecastMAE is the mean absolute per-layer error of this window's
+	// forecast against its observed profile.
+	ForecastMAE float64 `json:"forecast_mae"`
+	// Drift is the forecast's max per-layer deviation from the active
+	// plan's assumed profile at the window boundary.
+	Drift float64 `json:"drift"`
+
+	Replanned   bool `json:"replanned"`
+	PlanChanged bool `json:"plan_changed"`
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Windows []WindowStat
+	// Diffs retains the most recent plan diffs (bounded); Replans counts
+	// planner invocations, PlanChanges the ones whose plan differed.
+	Diffs       *optimizer.DiffRing
+	Replans     int
+	PlanChanges int
+
+	FinalPlan optimizer.Plan
+	// Provenance is the last planner invocation's search trace.
+	Provenance *optimizer.SearchTrace
+	// Forecast is the estimator's accuracy telemetry over the whole run.
+	Forecast *forecast.Stats
+	// MeanForecastMAE is the rolling MAE gauge at end of run.
+	MeanForecastMAE float64
+
+	// Report is the conservation audit over the entire run, with the
+	// tracer's counters reconciled in.
+	Report *audit.Report
+}
+
+// Run executes the windowed loop. The engine, collector, ledger, and
+// tracer span the whole run; each window builds a fresh pipeline + batcher
+// for the active plan and drains it completely before the next boundary.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Model == nil || cfg.Cluster == nil {
+		return nil, fmt.Errorf("replan: nil model or cluster")
+	}
+	if cfg.Windows < 1 || cfg.WindowDur <= 0 {
+		return nil, fmt.Errorf("replan: need at least one window of positive duration")
+	}
+	mix := cfg.Workload
+	if mix == nil {
+		mix = func(int) workload.Dist { return workload.Mix(0.8) }
+	}
+	layers := cfg.Model.Base.NumLayers()
+
+	eng := sim.NewEngine()
+	eng.SetEventLimit(200_000_000)
+	coll := scheduler.NewCollector(layers, cfg.SLO, 0)
+	coll.Audit = audit.NewLedger()
+	coll.Trace = cfg.Tracer
+	gen := workload.NewGenerator(mix(0), cfg.Seed)
+	gen.SetAudit(coll.Audit)
+	gen.SetTrace(cfg.Tracer)
+
+	est := forecast.NewEstimator(layers)
+	est.Method = cfg.Method
+	est.Stats = forecast.NewStats(layers)
+
+	res := &Result{Diffs: optimizer.NewDiffRing(diffHistory), Forecast: est.Stats}
+	var plan optimizer.Plan
+	var planProfile profile.Batch
+	havePlan := false
+	prevServed, prevViolations, prevDropped := 0, 0, 0
+
+	for w := 0; w < cfg.Windows; w++ {
+		start := eng.Now()
+		pred := est.Predict()
+
+		// Replan when the forecast has drifted from the active plan's
+		// assumptions (or there is no plan yet).
+		drift := 0.0
+		reason := "initial plan"
+		if havePlan {
+			drift = pred.MaxAbsDiff(planProfile)
+			reason = fmt.Sprintf("forecast drift %.3f > %.3f", drift, cfg.DriftThreshold)
+		}
+		replanned := false
+		changed := false
+		if !havePlan || drift > cfg.DriftThreshold {
+			tr := &optimizer.SearchTrace{}
+			next, err := optimizer.MaximizeGoodput(optimizer.Config{
+				Model: cfg.Model, Profile: pred, Batch: cfg.Batch, Cluster: cfg.Cluster,
+				SLO: cfg.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+				Trace: tr,
+			})
+			if err != nil {
+				if !havePlan {
+					return nil, fmt.Errorf("replan: window %d: %w", w, err)
+				}
+				// Keep serving the old plan; the failed search still counts
+				// as a replan and its provenance is retained.
+				res.Provenance = tr
+				res.Replans++
+			} else {
+				d := optimizer.DiffPlans(plan, next)
+				d.Window, d.At, d.Reason = w, start, reason
+				res.Diffs.Push(d)
+				res.Replans++
+				replanned = true
+				changed = d.Changed
+				if d.Changed {
+					res.PlanChanges++
+				}
+				cfg.Tracer.Replan(w, start)
+				plan, planProfile, havePlan = next, pred, true
+				res.Provenance = tr
+			}
+		}
+
+		// Serve the window's arrivals under the active plan with a fresh
+		// pipeline + batcher; the collector/ledger/tracer persist.
+		pipe, err := scheduler.NewPipeline(eng, cfg.Cluster, cfg.Model, plan, coll)
+		if err != nil {
+			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+		}
+		b := serving.NewBatcher(eng, pipe, plan.Batch, plan.Latency, 0.2)
+		gen.SwitchDist(mix(w))
+		// Poisson (not bursty) arrivals: each window must yield a usable
+		// profile observation, and DefaultBursty's ~18 s idle gaps would
+		// starve short windows to a few dozen samples of pure noise.
+		for _, off := range trace.Poisson(cfg.AvgRate, cfg.WindowDur, cfg.Seed+int64(w)*1000) {
+			at := start + off
+			eng.At(at, func() {
+				b.Arrive(gen.Next(eng.Now(), cfg.SLO))
+			})
+		}
+		if err := eng.RunAll(); err != nil {
+			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+		}
+		b.Flush()
+		pipe.FlushAll()
+		if err := eng.RunAll(); err != nil {
+			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+		}
+
+		// Observe: score the forecast, feed the estimator, account the
+		// window.
+		obs := coll.ObservedProfile()
+		est.Observe(obs)
+		served := coll.Good.Served - prevServed
+		violations := coll.Violations - prevViolations
+		dropped := coll.Dropped - prevDropped
+		prevServed, prevViolations, prevDropped = coll.Good.Served, coll.Violations, coll.Dropped
+		total := served + violations + dropped
+		attain := 1.0
+		if total > 0 {
+			attain = float64(served) / float64(total)
+		}
+		res.Windows = append(res.Windows, WindowStat{
+			Window: w, Start: start,
+			Served: served, Violations: violations, Dropped: dropped,
+			Goodput:       float64(served) / cfg.WindowDur,
+			SLOAttainment: attain,
+			ForecastMAE:   est.Stats.LastMAE(),
+			Drift:         drift,
+			Replanned:     replanned,
+			PlanChanged:   changed,
+		})
+		coll.ResetWindow()
+	}
+
+	coll.Good.CloseAt(eng.Now())
+	rep := coll.AuditReport()
+	cfg.Tracer.Reconcile(rep)
+	res.Report = rep
+	res.FinalPlan = plan
+	res.MeanForecastMAE = est.Stats.MAE()
+	return res, nil
+}
+
+// DriftingDemo is the canonical drifting-mix configuration the bench and
+// the verify gate run: BERT-Base/DeeBERT on 8 V100s with the workload's
+// easy fraction drifting 0.9 → 0.3 across the run, which forces the
+// planner to move its cut as exit mass migrates deeper.
+func DriftingDemo(windows int, method forecast.Method, tr *telemetry.Tracer) Config {
+	return Config{
+		Model:          ee.NewDeeBERT(model.BERTBase(), 0.4),
+		Cluster:        cluster.Homogeneous(gpu.V100, 8),
+		Batch:          8,
+		SLO:            0.100,
+		Windows:        windows,
+		WindowDur:      2.0,
+		AvgRate:        2000,
+		Seed:           424242,
+		DriftThreshold: 0.05,
+		Workload: func(w int) workload.Dist {
+			frac := 0.9
+			if windows > 1 {
+				frac = 0.9 - 0.6*float64(w)/float64(windows-1)
+			}
+			return workload.Mix(frac)
+		},
+		Method: method,
+		Tracer: tr,
+	}
+}

@@ -1,0 +1,95 @@
+package serving
+
+import (
+	"fmt"
+	"net/http"
+
+	"e3/internal/forecast"
+	"e3/internal/optimizer"
+)
+
+// ControlPlane bundles the control-plane observability state a server
+// exposes: the active plan's search provenance, the forecaster's accuracy
+// telemetry, and the bounded replan history. Any field may be nil; the
+// endpoints render what is present.
+type ControlPlane struct {
+	// Provenance is the search trace of the planning invocation that
+	// produced the active plan.
+	Provenance *optimizer.SearchTrace
+	// Forecast is the estimator's accuracy telemetry.
+	Forecast *forecast.Stats
+	// Diffs retains the recent plan-diff history; Replans counts planner
+	// invocations and PlanChanges the ones that changed the deployment.
+	Diffs       *optimizer.DiffRing
+	Replans     int
+	PlanChanges int
+}
+
+// AttachControlPlane exposes control-plane observability through /v1/plan
+// (provenance + replan history) and /metrics (forecast accuracy, safety
+// counters, replan counters).
+func (a *API) AttachControlPlane(cp *ControlPlane) {
+	a.mu.Lock()
+	a.cp = cp
+	a.mu.Unlock()
+}
+
+// ReplanJSON is the /v1/plan replan-history block.
+type ReplanJSON struct {
+	Invocations    int                  `json:"invocations"`
+	PlanChanges    int                  `json:"plan_changes"`
+	HistoryTotal   int                  `json:"history_total"`
+	HistoryEvicted int                  `json:"history_evicted"`
+	History        []optimizer.PlanDiff `json:"history"`
+}
+
+// controlPlaneJSON renders the attached control plane into a plan
+// response. Caller holds a.mu.
+func (a *API) controlPlaneJSON(resp *PlanResponse) {
+	if a.cp == nil {
+		return
+	}
+	resp.Provenance = a.cp.Provenance
+	rj := &ReplanJSON{
+		Invocations:    a.cp.Replans,
+		PlanChanges:    a.cp.PlanChanges,
+		HistoryTotal:   a.cp.Diffs.Total(),
+		HistoryEvicted: a.cp.Diffs.Evicted(),
+		History:        []optimizer.PlanDiff{},
+	}
+	if items := a.cp.Diffs.Items(); items != nil {
+		rj.History = items
+	}
+	resp.Replans = rj
+}
+
+// writeControlPlaneMetrics appends the forecast and replan series to a
+// /metrics scrape. Caller holds a.mu.
+func (a *API) writeControlPlaneMetrics(w http.ResponseWriter) {
+	if a.cp == nil {
+		return
+	}
+	if st := a.cp.Forecast; st != nil {
+		fmt.Fprintln(w, "# HELP e3_forecast_mae Rolling mean absolute per-layer forecast error.")
+		fmt.Fprintln(w, "# TYPE e3_forecast_mae gauge")
+		fmt.Fprintf(w, "e3_forecast_mae %g\n", st.MAE())
+		fmt.Fprintln(w, "# HELP e3_forecast_mape Rolling mean absolute percentage forecast error (fraction).")
+		fmt.Fprintln(w, "# TYPE e3_forecast_mape gauge")
+		fmt.Fprintf(w, "e3_forecast_mape %g\n", st.MAPE())
+		fmt.Fprintln(w, "# HELP e3_forecast_windows_total Prediction/observation pairs scored.")
+		fmt.Fprintln(w, "# TYPE e3_forecast_windows_total counter")
+		fmt.Fprintf(w, "e3_forecast_windows_total %d\n", st.Windows())
+		fmt.Fprintln(w, "# HELP e3_forecast_safety_total Forecast safety interventions by kind.")
+		fmt.Fprintln(w, "# TYPE e3_forecast_safety_total counter")
+		fmt.Fprintf(w, "e3_forecast_safety_total{event=\"clamp\"} %d\n", st.ClampHits())
+		fmt.Fprintf(w, "e3_forecast_safety_total{event=\"fit-failure\"} %d\n", st.FitFailures())
+		fmt.Fprintf(w, "e3_forecast_safety_total{event=\"monotone-fix\"} %d\n", st.MonotoneFixes())
+		fmt.Fprintf(w, "e3_forecast_safety_total{event=\"persistence-fallback\"} %d\n", st.PersistenceFallbacks())
+	}
+	fmt.Fprintln(w, "# HELP e3_replan_invocations_total Planner invocations by the replan loop.")
+	fmt.Fprintln(w, "# TYPE e3_replan_invocations_total counter")
+	fmt.Fprintf(w, "e3_replan_invocations_total %d\n", a.cp.Replans)
+	fmt.Fprintln(w, "# HELP e3_replan_plan_changes_total Replans that changed the deployment.")
+	fmt.Fprintln(w, "# TYPE e3_replan_plan_changes_total counter")
+	fmt.Fprintf(w, "e3_replan_plan_changes_total %d\n", a.cp.PlanChanges)
+}

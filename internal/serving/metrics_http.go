@@ -90,6 +90,8 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writePromHistogram(w, "e3_infer_predicted_latency_seconds",
 		"Plan-predicted latency of live inference requests.", "", a.inferLat, true)
 
+	a.writeControlPlaneMetrics(w)
+
 	if a.tracer == nil {
 		return
 	}

@@ -37,6 +37,9 @@ type API struct {
 	// tracer holds the boot run's spans and histograms for /metrics and
 	// /v1/trace (nil when the server started without telemetry).
 	tracer *telemetry.Tracer
+	// cp holds the control-plane observability state for /v1/plan and
+	// /metrics (nil when none is attached).
+	cp *ControlPlane
 }
 
 // NewAPI builds the handler set for a planned model.
@@ -120,7 +123,8 @@ func (a *API) handleInfer(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// PlanResponse summarizes the active plan.
+// PlanResponse summarizes the active plan, plus — when a control plane is
+// attached — the plan's search provenance and the replan history.
 type PlanResponse struct {
 	Model     string      `json:"model"`
 	Batch     int         `json:"batch"`
@@ -129,6 +133,9 @@ type PlanResponse struct {
 	GPUs      int         `json:"gpus"`
 	CostPerS  float64     `json:"cost_per_sec_usd"`
 	Splits    []SplitJSON `json:"splits"`
+
+	Provenance *optimizer.SearchTrace `json:"provenance,omitempty"`
+	Replans    *ReplanJSON            `json:"replans,omitempty"`
 }
 
 // SplitJSON is one planned split.
@@ -140,6 +147,8 @@ type SplitJSON struct {
 }
 
 func (a *API) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	resp := PlanResponse{
 		Model:     a.model.Name,
 		Batch:     a.plan.Batch,
@@ -151,6 +160,7 @@ func (a *API) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range a.plan.Splits {
 		resp.Splits = append(resp.Splits, SplitJSON{From: s.From, To: s.To, Kind: string(s.Kind), Replicas: s.Replicas})
 	}
+	a.controlPlaneJSON(&resp)
 	writeJSON(w, resp)
 }
 

@@ -41,6 +41,10 @@ const (
 	// KindFuse is the time a merge-queue head waited for its survivor
 	// batch to be re-formed (fusion).
 	KindFuse
+	// KindReplan is a control-plane replan instant (zero-duration span on
+	// the "control-plane" track), so Perfetto shows plan changes against
+	// the GPU occupancy timelines.
+	KindReplan
 )
 
 // String names the kind; it doubles as the Chrome trace "cat" field.
@@ -54,6 +58,8 @@ func (k Kind) String() string {
 		return "transfer"
 	case KindFuse:
 		return "fuse"
+	case KindReplan:
+		return "replan"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -69,6 +75,8 @@ func KindFromString(s string) (Kind, bool) {
 		return KindTransfer, true
 	case "fuse":
 		return KindFuse, true
+	case "replan":
+		return KindReplan, true
 	}
 	return 0, false
 }
@@ -207,6 +215,15 @@ func (t *Tracer) Transfer(fromStage, batch int, start, end float64) {
 func (t *Tracer) Fuse(stage, batch int, start, end float64) {
 	t.Record(Span{Track: fmt.Sprintf("merge:s%d", stage), Kind: KindFuse,
 		Start: start, End: end, Stage: stage, Batch: batch})
+}
+
+// Replan records a control-plane replan instant for scheduling window w:
+// a zero-duration span on the "control-plane" track, visible in Perfetto
+// alongside the per-GPU occupancy timelines. Batch carries the window
+// index; Stage is -1 (not split work).
+func (t *Tracer) Replan(window int, at float64) {
+	t.Record(Span{Track: "control-plane", Kind: KindReplan,
+		Start: at, End: at, Stage: -1, Batch: window})
 }
 
 // extendHorizon widens the observation window to include event time at.
