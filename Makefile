@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race audit replan overhead
+.PHONY: verify build vet lint test race audit replan overhead bench plangate
 
-verify: build vet lint test race audit replan overhead
+verify: build vet lint test race audit replan overhead plangate
 	@echo "verify: all checks passed"
 
 build:
@@ -30,7 +30,7 @@ test:
 # loop; -race keeps the single-goroutine discipline honest at runtime
 # where the eventloop analyzer can only check structure.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/
+	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/
 
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
@@ -46,3 +46,17 @@ replan:
 # `go test ./...` stays fast and timing-noise-free.
 overhead:
 	E3_OVERHEAD_GATE=1 $(GO) test ./internal/telemetry/ -run TestTelemetryOverheadGate -v
+
+# Planner fast-path gates: the memoized search must beat the retained
+# reference search by E3_PLAN_GATE_FACTOR (default 3x) on the paper
+# cluster, and a stable forecast must serve replans from the plan cache.
+# Env-gated like the overhead gate to keep plain `go test ./...` fast.
+plangate:
+	E3_PLAN_GATE=1 $(GO) test ./internal/optimizer/ -run TestPlannerPerfGate -v
+	$(GO) test ./internal/replan/ -run TestPlanCacheStableForecastGate -v
+
+# Planner microbenchmarks (cost-table build, reference vs memoized search,
+# worker scaling). `e3-bench -plan-bench BENCH_PR5.json` writes the same
+# comparison as JSON.
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/optimizer/

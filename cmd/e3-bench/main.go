@@ -9,6 +9,7 @@
 //	e3-bench -trace-out demo.json  # export a Perfetto-loadable timeline
 //	e3-bench -bench-out bench.json # machine-readable perf + overhead stats
 //	e3-bench -windows 20 -audit    # windowed replan loop + conservation gate
+//	e3-bench -plan-bench BENCH_PR5.json  # planner search-path timings
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "run the traced demo and write its Chrome trace-event timeline to FILE (load at ui.perfetto.dev); exits nonzero if the run fails its audit")
 	benchOut := flag.String("bench-out", "", "run the traced demo and write machine-readable stats (throughput, latency quantiles, per-split utilization, telemetry overhead) to FILE")
 	windows := flag.Int("windows", 0, "run the windowed replan loop (drifting mix, ARIMA vs persistence on the same seed) for N windows; combines with -audit (conservation gate), -bench-out, and -trace-out")
+	planBench := flag.String("plan-bench", "", "time the planner search paths (reference vs memoized, serial vs parallel) across the model/cluster grid and write the JSON report to FILE")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
@@ -44,6 +46,10 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *planBench != "" {
+		os.Exit(runPlanBench(*planBench))
 	}
 
 	if *windows > 0 {
@@ -267,10 +273,12 @@ type replanReport struct {
 	WindowDurS float64 `json:"window_dur_s"`
 	Seed       int64   `json:"seed"`
 
-	Replans     int      `json:"replans"`
-	PlanChanges int      `json:"plan_changes"`
-	FinalPlan   string   `json:"final_plan"`
-	PlanDiffs   []string `json:"plan_diffs"`
+	Replans         int      `json:"replans"`
+	PlanChanges     int      `json:"plan_changes"`
+	PlanCacheHits   int      `json:"plan_cache_hits"`
+	PlanCacheMisses int      `json:"plan_cache_misses"`
+	FinalPlan       string   `json:"final_plan"`
+	PlanDiffs       []string `json:"plan_diffs"`
 
 	// Forecast accuracy of the primary (ARIMA) run vs. the persistence
 	// baseline on the same seed and workload drift.
@@ -309,8 +317,8 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 	}
 
 	fmt.Printf("replan loop: %d windows x 2s virtual (drifting mix, ARIMA forecaster)\n\n", windows)
-	fmt.Printf("%-7s %-10s %-9s %-9s %-8s %-8s %s\n",
-		"window", "goodput/s", "slo-att", "fcst-mae", "drift", "replan", "plan")
+	fmt.Printf("%-7s %-10s %-9s %-9s %-8s %-8s %-7s %s\n",
+		"window", "goodput/s", "slo-att", "fcst-mae", "drift", "replan", "cache", "plan")
 	for _, ws := range res.Windows {
 		mark := "-"
 		switch {
@@ -319,14 +327,22 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 		case ws.Replanned:
 			mark = "kept"
 		}
-		fmt.Printf("%-7d %-10.0f %-9.3f %-9.4f %-8.3f %-8v %s\n",
-			ws.Window, ws.Goodput, ws.SLOAttainment, ws.ForecastMAE, ws.Drift, ws.Replanned, mark)
+		cache := "-"
+		switch {
+		case ws.PlanCacheHit:
+			cache = "hit"
+		case ws.Replanned:
+			cache = "miss"
+		}
+		fmt.Printf("%-7d %-10.0f %-9.3f %-9.4f %-8.3f %-8v %-7s %s\n",
+			ws.Window, ws.Goodput, ws.SLOAttainment, ws.ForecastMAE, ws.Drift, ws.Replanned, cache, mark)
 	}
 	fmt.Println()
 	for _, d := range res.Diffs.Items() {
 		fmt.Println(d.String())
 	}
-	fmt.Printf("\nreplans: %d (%d plan changes); final plan: %s\n", res.Replans, res.PlanChanges, res.FinalPlan)
+	fmt.Printf("\nreplans: %d (%d plan changes, %d plan-cache hits / %d misses); final plan: %s\n",
+		res.Replans, res.PlanChanges, res.PlanCacheHits, res.PlanCacheMisses, res.FinalPlan)
 	fmt.Printf("forecast MAE: arima %.4f vs persistence %.4f\n", res.MeanForecastMAE, base.MeanForecastMAE)
 	fmt.Printf("%s\n", res.Report)
 	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
@@ -353,6 +369,8 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 			Seed:                   424242,
 			Replans:                res.Replans,
 			PlanChanges:            res.PlanChanges,
+			PlanCacheHits:          res.PlanCacheHits,
+			PlanCacheMisses:        res.PlanCacheMisses,
 			FinalPlan:              res.FinalPlan.String(),
 			PlanDiffs:              []string{},
 			ForecastMAEARIMA:       res.MeanForecastMAE,

@@ -62,7 +62,7 @@ func main() {
 	bootTrace := &optimizer.SearchTrace{}
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: *batch, Cluster: clus,
-		SLO: slo.Seconds(), SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: slo.Seconds(), SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		Trace: bootTrace,
 	})
 	if err != nil {
@@ -99,13 +99,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "e3-serve: refusing to serve a replan loop that fails conservation")
 			os.Exit(1)
 		}
-		log.Printf("e3-serve: replan loop: %d windows, %d replans (%d plan changes), forecast MAE %.4f",
-			*replanWindows, res.Replans, res.PlanChanges, res.MeanForecastMAE)
+		log.Printf("e3-serve: replan loop: %d windows, %d replans (%d plan changes, %d plan-cache hits), forecast MAE %.4f",
+			*replanWindows, res.Replans, res.PlanChanges, res.PlanCacheHits, res.MeanForecastMAE)
 		plan = res.FinalPlan
 		log.Printf("e3-serve: serving adapted plan: %s", plan)
 		cp = &serving.ControlPlane{
 			Provenance: res.Provenance, Forecast: res.Forecast,
 			Diffs: res.Diffs, Replans: res.Replans, PlanChanges: res.PlanChanges,
+			PlanCacheHits: res.PlanCacheHits, PlanCacheMisses: res.PlanCacheMisses,
 		}
 	}
 

@@ -35,7 +35,7 @@ func main() {
 	prof := profile.FromDist(m, workload.Mix(0.8), 8000, 1)
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: batch, Cluster: clus,
-		SLO: slo, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: slo, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	})
 	if err != nil {
 		log.Fatal(err)

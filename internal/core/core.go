@@ -176,6 +176,7 @@ func (s *System) config(prof profile.Batch) optimizer.Config {
 		Cluster:              s.planCluster(),
 		SLO:                  s.opts.SLO,
 		SlackFrac:            s.opts.SlackFrac,
+		MinExitFrac:          optimizer.DefaultMinExitFrac,
 		Pipelining:           !s.opts.DisablePipelining,
 		ModelParallel:        !s.opts.DisableModelParallel,
 		DisableInteriorRamps: s.opts.UseExitWrapper,

@@ -171,7 +171,7 @@ func planE3(clus *cluster.Cluster, m *ee.EEModel, dist workload.Dist, batch int,
 	prof := profile.FromDist(m, dist, 8000, 1)
 	cfg := optimizer.Config{
 		Model: m, Profile: prof, Batch: batch, Cluster: clus,
-		SLO: slo, SlackFrac: defaultSlack,
+		SLO: slo, SlackFrac: defaultSlack, MinExitFrac: optimizer.DefaultMinExitFrac,
 		Pipelining: true, ModelParallel: true,
 	}
 	if mutate != nil {

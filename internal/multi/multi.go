@@ -83,7 +83,7 @@ func Plan(clus *cluster.Cluster, tenants []Tenant) ([]Allocation, error) {
 		prof := profile.FromDist(t.Model, t.Dist, 8000, 1)
 		cfg := optimizer.Config{
 			Model: t.Model, Profile: prof, Batch: t.Batch, Cluster: sub,
-			SLO: t.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+			SLO: t.SLO, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		}
 		plan, err := optimizer.MinimizeGPUs(cfg, t.Rate)
 		if err != nil {
@@ -118,7 +118,7 @@ func Plan(clus *cluster.Cluster, tenants []Tenant) ([]Allocation, error) {
 		prof := profile.FromDist(t.Model, t.Dist, 8000, 1)
 		cfg := optimizer.Config{
 			Model: t.Model, Profile: prof, Batch: t.Batch, Cluster: sub,
-			SLO: t.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+			SLO: t.SLO, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		}
 		if plan, err := optimizer.MaximizeGoodput(cfg); err == nil && plan.Goodput > allocs[worst].Plan.Goodput {
 			allocs[worst].Plan = plan

@@ -51,11 +51,28 @@ func TestPlanInvariantsProperty(t *testing.T) {
 
 		cfg := Config{
 			Model: m, Profile: prof, Batch: batch, Cluster: clus,
-			SLO: 0.5, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+			SLO: 0.5, SlackFrac: 0.2, MinExitFrac: DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		}
 		plan, err := MaximizeGoodput(cfg)
+
+		// The retained reference search and the memoized path (with a
+		// shared prebuilt cost table) must agree with the fast default on
+		// every fuzzed problem, feasible or not.
+		ref, refErr := MaximizeGoodputReference(cfg)
+		if (err == nil) != (refErr == nil) {
+			return false
+		}
+		memoCfg := cfg
+		memoCfg.Costs = NewCostTableFor(cfg)
+		memo, memoErr := MaximizeGoodput(memoCfg)
+		if (err == nil) != (memoErr == nil) {
+			return false
+		}
 		if err != nil {
 			return true // infeasible is a valid outcome
+		}
+		if plan.String() != ref.String() || plan.String() != memo.String() {
+			return false
 		}
 		// Coverage.
 		want := 1

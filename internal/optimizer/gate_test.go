@@ -1,0 +1,90 @@
+// Planner fast-path wall-clock gate. Wall timing is deliberate and legal
+// here: optimizer is outside the virtual-time lint scope and the quantity
+// under test IS host cost — how much real time the memoized search saves
+// over the retained reference search. The gate is env-gated
+// (E3_PLAN_GATE=1, set by `make plangate`) so plain `go test ./...`
+// stays timing-noise-free.
+package optimizer
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"e3/internal/cluster"
+)
+
+// planGateFactor returns the required reference/memoized speedup. The
+// measured ratio on the gate problem is ~60x, so the default of 3x leaves
+// a wide margin for loaded CI hosts; E3_PLAN_GATE_FACTOR overrides it.
+func planGateFactor(t *testing.T) float64 {
+	if s := os.Getenv("E3_PLAN_GATE_FACTOR"); s != "" {
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil || f <= 0 {
+			t.Fatalf("bad E3_PLAN_GATE_FACTOR %q", s)
+		}
+		return f
+	}
+	return 3
+}
+
+// bestOf3 returns the fastest of three wall-clock runs of fn.
+func bestOf3(t *testing.T, fn func() (Plan, error)) (time.Duration, Plan) {
+	t.Helper()
+	var best time.Duration
+	var plan Plan
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		p, err := fn()
+		d := time.Since(start)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 || d < best {
+			best, plan = d, p
+		}
+	}
+	return best, plan
+}
+
+func TestPlannerPerfGate(t *testing.T) {
+	if os.Getenv("E3_PLAN_GATE") == "" {
+		t.Skip("set E3_PLAN_GATE=1 (make plangate) to run the wall-clock gate")
+	}
+	factor := planGateFactor(t)
+
+	// The paper-evaluation cluster at four splits: the heterogeneous
+	// search the replan loop pays every drifted window.
+	cfg := bertConfig(8, 0.8, cluster.PaperEvaluation())
+	cfg.MaxSplits = 4
+
+	// Warm run: both paths pay lazy init alike.
+	if _, err := MaximizeGoodput(cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	refDur, refPlan := bestOf3(t, func() (Plan, error) { return MaximizeGoodputReference(cfg) })
+	fastDur, fastPlan := bestOf3(t, func() (Plan, error) { return MaximizeGoodput(cfg) })
+
+	if refPlan.String() != fastPlan.String() {
+		t.Fatalf("memoized winner diverged from reference:\n  ref:  %s\n  fast: %s", refPlan, fastPlan)
+	}
+	speedup := float64(refDur) / float64(fastDur)
+	t.Logf("reference %v, memoized %v: %.1fx (gate %.1fx)", refDur, fastDur, speedup, factor)
+	if speedup < factor {
+		t.Errorf("memoized search only %.1fx faster than reference, gate requires %.1fx", speedup, factor)
+	}
+
+	// The widened search the fast path buys: double the boundary
+	// candidates and five splits must still finish within the time the
+	// reference search needed at the OLD default size.
+	large := cfg
+	large.MaxBoundaryCands = 20
+	large.MaxSplits = 5
+	largeDur, _ := bestOf3(t, func() (Plan, error) { return MaximizeGoodput(large) })
+	t.Logf("widened search (20 cands, 5 splits): %v vs reference-at-default %v", largeDur, refDur)
+	if largeDur > refDur {
+		t.Errorf("widened search (%v) slower than the reference at the old default size (%v)", largeDur, refDur)
+	}
+}

@@ -47,7 +47,7 @@ func TestPlannerRespectsMemory(t *testing.T) {
 	prof := profile.FromDist(m, workload.BoolQ(), 4000, 1)
 	cfg := Config{
 		Model: m, Profile: prof, Batch: 4, Cluster: cluster.Homogeneous(gpu.K80, 24),
-		SLO: 5, SlackFrac: 0.2, Pipelining: true, ModelParallel: true, MaxSplits: 4,
+		SLO: 5, SlackFrac: 0.2, MinExitFrac: DefaultMinExitFrac, Pipelining: true, ModelParallel: true, MaxSplits: 4,
 	}
 	plan, err := MaximizeGoodput(cfg)
 	if err != nil {
@@ -69,7 +69,7 @@ func TestMemoryForcesSplitAcrossKinds(t *testing.T) {
 	clus := cluster.New(map[gpu.Kind]int{gpu.K80: 8, gpu.A6000: 4}, 2)
 	cfg := Config{
 		Model: m, Profile: prof, Batch: 4, Cluster: clus,
-		SLO: 5, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 5, SlackFrac: 0.2, MinExitFrac: DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	}
 	plan, err := MaximizeGoodput(cfg)
 	if err != nil {

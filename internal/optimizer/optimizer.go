@@ -22,9 +22,24 @@ import (
 
 	"e3/internal/cluster"
 	"e3/internal/ee"
-	"e3/internal/exec"
 	"e3/internal/gpu"
 	"e3/internal/profile"
+)
+
+// Tunable defaults. Config fields using negative-means-default sentinels
+// reference these so callers can both request the default explicitly and
+// configure the true zero ("prune nothing", "no slack").
+const (
+	// DefaultMaxSplits bounds the partition search depth.
+	DefaultMaxSplits = 3
+	// DefaultMinExitFrac prunes boundary candidates below 2% predicted
+	// exit mass.
+	DefaultMinExitFrac = 0.02
+	// DefaultSlackFrac reserves the paper's 20% SLO headroom.
+	DefaultSlackFrac = 0.2
+	// DefaultMaxBoundaryCands caps the exit ramps considered as split
+	// boundaries, ranked by predicted exit mass.
+	DefaultMaxBoundaryCands = 10
 )
 
 // Config is one planning problem.
@@ -35,7 +50,8 @@ type Config struct {
 	Batch   int
 	Cluster *cluster.Cluster
 	// SLO is the end-to-end latency bound (seconds); SlackFrac reserves
-	// headroom (the paper uses 20%).
+	// headroom (the paper uses 20%). A zero SlackFrac means no slack;
+	// negative selects DefaultSlackFrac.
 	SLO       float64
 	SlackFrac float64
 
@@ -50,11 +66,28 @@ type Config struct {
 	// boundaries keep their ramps, saving interior ramp-head kernels.
 	DisableInteriorRamps bool
 
-	// MaxSplits bounds the partition search (default 3).
+	// MaxSplits bounds the partition search (0 selects DefaultMaxSplits).
 	MaxSplits int
 	// MinExitFrac prunes boundary candidates with less predicted exit
-	// mass (default 0.02).
+	// mass. Zero keeps every active ramp; negative selects
+	// DefaultMinExitFrac.
 	MinExitFrac float64
+	// MaxBoundaryCands caps how many exit ramps (ranked by predicted exit
+	// mass) the search considers as split boundaries. Zero selects
+	// DefaultMaxBoundaryCands; negative removes the cap.
+	MaxBoundaryCands int
+
+	// Workers bounds the search's worker pool (the optimizer is
+	// deliberately outside the event-loop lint scope). Zero selects
+	// min(GOMAXPROCS, 8); negative forces serial. Any value returns a
+	// byte-identical plan and trace — parallelism is an implementation
+	// detail, not a semantic knob.
+	Workers int
+	// Costs optionally supplies a precomputed segment cost table (see
+	// NewCostTableFor). A nil or incompatible table is replaced
+	// internally; sharing a compatible one across objectives and replan
+	// windows skips the O(L²·K) rebuild.
+	Costs *CostTable
 
 	// Trace optionally records the search's provenance — candidates
 	// enumerated, rejections by reason, and the winner with runners-up.
@@ -65,13 +98,25 @@ type Config struct {
 func (c *Config) withDefaults() Config {
 	out := *c
 	if out.MaxSplits == 0 {
-		out.MaxSplits = 3
+		out.MaxSplits = DefaultMaxSplits
 	}
-	if out.MinExitFrac == 0 {
-		out.MinExitFrac = 0.02
+	// Negative means "default" so that explicit zeros stay configurable:
+	// MinExitFrac 0 keeps every active ramp, SlackFrac 0 spends the whole
+	// SLO.
+	if out.MinExitFrac < 0 {
+		out.MinExitFrac = DefaultMinExitFrac
 	}
-	if out.SlackFrac == 0 {
-		out.SlackFrac = 0.2
+	if out.SlackFrac < 0 {
+		out.SlackFrac = DefaultSlackFrac
+	}
+	if out.MaxBoundaryCands == 0 {
+		out.MaxBoundaryCands = DefaultMaxBoundaryCands
+	}
+	if out.Workers == 0 {
+		out.Workers = defaultWorkers()
+	}
+	if out.Workers < 1 {
+		out.Workers = 1
 	}
 	return out
 }
@@ -82,6 +127,9 @@ func (c *Config) validate() error {
 	}
 	if c.Batch < 1 {
 		return fmt.Errorf("optimizer: batch %d < 1", c.Batch)
+	}
+	if c.MaxSplits < 1 {
+		return fmt.Errorf("optimizer: MaxSplits %d < 1", c.MaxSplits)
 	}
 	if c.Profile.L != c.Model.Base.NumLayers() {
 		return fmt.Errorf("optimizer: profile over %d layers, model has %d",
@@ -166,93 +214,19 @@ func (p Plan) ExecModel(m *ee.EEModel) *ee.EEModel {
 
 // MaximizeGoodput plans the highest sustainable rate on the full cluster.
 func MaximizeGoodput(cfg Config) (Plan, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return Plan{}, err
-	}
-	cfg.Trace.begin(cfg, "max-goodput", 0,
-		func(a, b Plan) bool { return a.Goodput > b.Goodput },
-		func(p Plan) float64 { return p.Goodput })
-	best := Plan{}
-	found := false
-	forEachCandidate(cfg, func(p Plan) {
-		if p.Goodput > best.Goodput {
-			best = p
-			found = true
-		}
-	})
-	var err error
-	if !found {
-		err = fmt.Errorf("optimizer: no feasible plan for batch %d under SLO %.0fms",
-			cfg.Batch, cfg.SLO*1e3)
-	}
-	cfg.Trace.finish(best, found, err)
-	if err != nil {
-		return Plan{}, err
-	}
-	return best, nil
+	return solve(cfg, goodputObjective(), runFast)
 }
 
 // MinimizeGPUs plans the smallest device count sustaining target goodput
 // (Figure 14). Ties break toward higher goodput.
 func MinimizeGPUs(cfg Config, target float64) (Plan, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return Plan{}, err
-	}
-	betterGPUs := func(a, b Plan) bool {
-		return a.GPUs < b.GPUs || (a.GPUs == b.GPUs && a.Goodput > b.Goodput)
-	}
-	cfg.Trace.begin(cfg, "min-gpus", target, betterGPUs,
-		func(p Plan) float64 { return float64(p.GPUs) })
-	best := Plan{GPUs: math.MaxInt}
-	found := false
-	forEachCandidateMinimal(cfg, target, func(p Plan) {
-		if betterGPUs(p, best) {
-			best = p
-			found = true
-		}
-	})
-	var err error
-	if !found {
-		err = fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d", target, cfg.Batch)
-	}
-	cfg.Trace.finish(best, found, err)
-	if err != nil {
-		return Plan{}, err
-	}
-	return best, nil
+	return solve(cfg, gpusObjective(target), runFast)
 }
 
 // MinimizeCost plans the cheapest GPU mix sustaining target goodput
 // (Figure 15).
 func MinimizeCost(cfg Config, target float64) (Plan, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
-		return Plan{}, err
-	}
-	betterCost := func(a, b Plan) bool {
-		return a.CostPerSec < b.CostPerSec || (a.CostPerSec == b.CostPerSec && a.Goodput > b.Goodput)
-	}
-	cfg.Trace.begin(cfg, "min-cost", target, betterCost,
-		func(p Plan) float64 { return p.CostPerSec })
-	best := Plan{CostPerSec: math.Inf(1)}
-	found := false
-	forEachCandidateMinimal(cfg, target, func(p Plan) {
-		if betterCost(p, best) {
-			best = p
-			found = true
-		}
-	})
-	var err error
-	if !found {
-		err = fmt.Errorf("optimizer: cluster cannot sustain %.0f samples/s at batch %d within cost search", target, cfg.Batch)
-	}
-	cfg.Trace.finish(best, found, err)
-	if err != nil {
-		return Plan{}, err
-	}
-	return best, nil
+	return solve(cfg, costObjective(target), runFast)
 }
 
 // boundaryCandidates returns active ramp positions worth cutting at,
@@ -278,7 +252,10 @@ func boundaryCandidates(cfg Config) []int {
 		}
 		return cands[i].pos < cands[j].pos
 	})
-	const maxCands = 10
+	maxCands := cfg.MaxBoundaryCands
+	if maxCands < 0 {
+		maxCands = len(cands)
+	}
 	capped := 0
 	if len(cands) > maxCands {
 		capped = len(cands) - maxCands
@@ -291,80 +268,6 @@ func boundaryCandidates(cfg Config) []int {
 	sort.Ints(out)
 	cfg.Trace.ramps(out, pruned, capped)
 	return out
-}
-
-// forEachCandidate evaluates every partition × kind assignment at maximum
-// replica allocation and reports feasible plans.
-func forEachCandidate(cfg Config, emit func(Plan)) {
-	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
-		cfg.Trace.candidate()
-		p, reject := evaluateMaxRate(cfg, bounds, kinds)
-		if reject != "" {
-			cfg.Trace.reject(reject)
-			return
-		}
-		cfg.Trace.feasible(p)
-		emit(p)
-	})
-}
-
-// forEachCandidateMinimal evaluates partitions with the *minimal* replica
-// counts achieving the target rate; candidates below the target are
-// rejected here so the trace accounts them.
-func forEachCandidateMinimal(cfg Config, target float64, emit func(Plan)) {
-	enumerate(cfg, func(bounds []int, kinds []gpu.Kind) {
-		cfg.Trace.candidate()
-		p, reject := evaluateMinAlloc(cfg, bounds, kinds, target)
-		if reject == "" && p.Goodput < target {
-			reject = RejectRate
-		}
-		if reject != "" {
-			cfg.Trace.reject(reject)
-			return
-		}
-		cfg.Trace.feasible(p)
-		emit(p)
-	})
-}
-
-// enumerate walks all partitions (≤ MaxSplits splits with boundaries drawn
-// from the candidates) crossed with per-split GPU-kind assignments present
-// in the cluster.
-func enumerate(cfg Config, visit func(bounds []int, kinds []gpu.Kind)) {
-	cands := boundaryCandidates(cfg)
-	var kindsAvail []gpu.Kind
-	for _, k := range gpu.Kinds() {
-		if len(cfg.Cluster.OfKind(k)) > 0 {
-			kindsAvail = append(kindsAvail, k)
-		}
-	}
-	if len(kindsAvail) == 0 {
-		return
-	}
-
-	var walkKinds func(bounds []int, kinds []gpu.Kind)
-	walkKinds = func(bounds []int, kinds []gpu.Kind) {
-		n := len(bounds) + 1
-		if len(kinds) == n {
-			visit(bounds, kinds)
-			return
-		}
-		for _, k := range kindsAvail {
-			walkKinds(bounds, append(kinds, k))
-		}
-	}
-
-	var walkBounds func(start int, bounds []int)
-	walkBounds = func(start int, bounds []int) {
-		walkKinds(bounds, nil)
-		if len(bounds)+1 >= cfg.MaxSplits {
-			return
-		}
-		for i := start; i < len(cands); i++ {
-			walkBounds(i+1, append(bounds, cands[i]))
-		}
-	}
-	walkBounds(0, nil)
 }
 
 // SplitFits reports whether layers [from, to] of the model fit in one
@@ -392,70 +295,6 @@ func SplitFits(m *ee.EEModel, from, to, batch int, kind gpu.Kind) bool {
 	return weights+working <= spec.MemGB*1e9*0.9
 }
 
-// partitionFits checks every split of a partition against its kind.
-func partitionFits(cfg Config, splits []Split) bool {
-	for _, s := range splits {
-		if !SplitFits(cfg.Model, s.From, s.To, cfg.Batch, s.Kind) {
-			return false
-		}
-	}
-	return true
-}
-
-// stageGeometry computes per-split times, comm and survival for a
-// partition under the config's execution mode.
-func stageGeometry(cfg Config, bounds []int, kinds []gpu.Kind) []Split {
-	L := cfg.Model.Base.NumLayers()
-	m := cfg.Model
-	if cfg.DisableInteriorRamps {
-		m = (&Plan{Splits: splitsFromBounds(bounds, L), DisabledInteriorRamps: true}).ExecModel(cfg.Model)
-	}
-	froms := []int{1}
-	for _, b := range bounds {
-		froms = append(froms, b+1)
-	}
-	splits := make([]Split, len(froms))
-	for i, from := range froms {
-		to := L
-		if i < len(bounds) {
-			to = bounds[i]
-		}
-		spec := gpu.Get(kinds[i])
-		sIn := cfg.Profile.At(from)
-		sOut := 0.0
-		if to < L {
-			sOut = cfg.Profile.After(to)
-		}
-		exitFrac := 0.0
-		if sIn > 0 {
-			exitFrac = (sIn - sOut) / sIn
-		}
-		st := exec.SplitTime(m, from, to, cfg.Batch, exitFrac, spec)
-		// The boundary handoff (sync + reform) overlaps the next batch in
-		// pipelined execution, so it counts toward latency via CommTime
-		// rather than stage time.
-		comm := exec.SplitHandoff(cfg.Batch, exitFrac)
-		if to < L {
-			// Conservative: plan with the slowest interconnect; the
-			// runtime can only do better with local placement.
-			link := cfg.Cluster.Topology.WorstCase()
-			comm += link.TransferTime(cfg.Model.Base.Layers[to-1].ActBytes * float64(cfg.Batch))
-		}
-		splits[i] = Split{From: from, To: to, Kind: kinds[i], StageTime: st, CommTime: comm, Survival: sIn}
-	}
-	return splits
-}
-
-func splitsFromBounds(bounds []int, l int) []Split {
-	from := 1
-	var out []Split
-	for _, b := range bounds {
-		out = append(out, Split{From: from, To: b})
-		from = b + 1
-	}
-	return append(out, Split{From: from, To: l})
-}
-
 // workPerSample is the GPU-seconds one fresh sample costs at split i,
 // accounting for the fraction of samples that still reach it.
 func workPerSample(s Split, batch int, pipelined bool) float64 {
@@ -468,79 +307,6 @@ func workPerSample(s Split, batch int, pipelined bool) float64 {
 		}
 	}
 	return s.Survival * t / float64(batch)
-}
-
-// evaluateMaxRate allocates every available GPU greedily to the bottleneck
-// split and reports the resulting plan, or the reason the candidate was
-// rejected ("" means feasible).
-func evaluateMaxRate(cfg Config, bounds []int, kinds []gpu.Kind) (Plan, RejectReason) {
-	splits := stageGeometry(cfg, bounds, kinds)
-	if !partitionFits(cfg, splits) {
-		return Plan{}, RejectMemory
-	}
-	if !cfg.ModelParallel {
-		return evaluateSerial(cfg, splits)
-	}
-	avail := cfg.Cluster.Counts()
-
-	// Start with one replica each; infeasible if kinds are short.
-	for i := range splits {
-		if avail[splits[i].Kind] == 0 {
-			return Plan{}, RejectReplicas
-		}
-		avail[splits[i].Kind]--
-		splits[i].Replicas = 1
-	}
-	rate := func(i int) float64 {
-		w := workPerSample(splits[i], cfg.Batch, cfg.Pipelining)
-		if w <= 0 {
-			return math.Inf(1)
-		}
-		return float64(splits[i].Replicas) / w
-	}
-	for {
-		// Find the bottleneck stage that can still grow.
-		bi, brate := -1, math.Inf(1)
-		for i := range splits {
-			r := rate(i)
-			if r < brate {
-				brate, bi = r, i
-			}
-		}
-		if bi < 0 || avail[splits[bi].Kind] == 0 {
-			break
-		}
-		avail[splits[bi].Kind]--
-		splits[bi].Replicas++
-	}
-	return finishPlan(cfg, splits)
-}
-
-// evaluateMinAlloc gives each split exactly the replicas needed for the
-// target rate, reporting the rejection reason ("" means feasible; the
-// caller still checks the achieved rate against the target).
-func evaluateMinAlloc(cfg Config, bounds []int, kinds []gpu.Kind, target float64) (Plan, RejectReason) {
-	splits := stageGeometry(cfg, bounds, kinds)
-	if !partitionFits(cfg, splits) {
-		return Plan{}, RejectMemory
-	}
-	if !cfg.ModelParallel {
-		return evaluateSerial(cfg, splits)
-	}
-	avail := cfg.Cluster.Counts()
-	for i := range splits {
-		w := workPerSample(splits[i], cfg.Batch, cfg.Pipelining)
-		need := int(math.Ceil(target * w))
-		if need < 1 {
-			need = 1
-		}
-		if avail[splits[i].Kind] < need {
-			return Plan{}, RejectReplicas
-		}
-		avail[splits[i].Kind] -= need
-		splits[i].Replicas = need
-	}
-	return finishPlan(cfg, splits)
 }
 
 // evaluateSerial models the §5.8.7 ablation: the cluster executes split

@@ -17,7 +17,7 @@ func bertConfig(batch int, easyFrac float64, c *cluster.Cluster) Config {
 	prof := profile.FromDist(m, workload.Mix(easyFrac), 8000, 1)
 	return Config{
 		Model: m, Profile: prof, Batch: batch, Cluster: c,
-		SLO: 0.100, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.100, SlackFrac: 0.2, MinExitFrac: DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	}
 }
 
@@ -311,7 +311,7 @@ func TestVanillaModelGetsSingleSplit(t *testing.T) {
 	prof := profile.FromDist(m, workload.Mix(0.8), 2000, 2)
 	cfg := Config{
 		Model: m, Profile: prof, Batch: 8, Cluster: cluster.Homogeneous(gpu.V100, 16),
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	}
 	p, err := MaximizeGoodput(cfg)
 	if err != nil {

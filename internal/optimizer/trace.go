@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // RejectReason classifies why the search discarded a candidate plan.
@@ -32,6 +33,35 @@ const (
 
 // rejectOrder fixes the rendering order of reasons in Explain output.
 var rejectOrder = []RejectReason{
+	RejectMemory, RejectReplicas, RejectSLO, RejectRate, RejectDegenerate,
+}
+
+// Dense reason indices for the search's per-task tallies (array instead
+// of a map on the hot path). Order matches rejectOrder.
+const (
+	idxMemory = iota
+	idxReplicas
+	idxSLO
+	idxRate
+	idxDegenerate
+	numReasons
+)
+
+func reasonIndex(r RejectReason) int {
+	switch r {
+	case RejectMemory:
+		return idxMemory
+	case RejectReplicas:
+		return idxReplicas
+	case RejectSLO:
+		return idxSLO
+	case RejectRate:
+		return idxRate
+	}
+	return idxDegenerate
+}
+
+var reasonByIndex = [numReasons]RejectReason{
 	RejectMemory, RejectReplicas, RejectSLO, RejectRate, RejectDegenerate,
 }
 
@@ -75,6 +105,12 @@ type SearchTrace struct {
 	Enumerated int                  `json:"candidates_enumerated"`
 	Rejected   map[RejectReason]int `json:"rejected_by_reason"`
 	Feasible   int                  `json:"feasible"`
+	// Dominance pruning (fast path only): kind-assignment subtrees whose
+	// admissible bound proved they cannot beat the incumbent or reach the
+	// target, and the candidates inside them. Pruned candidates are never
+	// enumerated, so the accounting identity above is unaffected.
+	PrunedSubtrees   int `json:"pruned_subtrees"`
+	PrunedCandidates int `json:"pruned_candidates"`
 	// Beaten counts feasible candidates that lost to the winner on the
 	// objective (Feasible - 1 when a winner exists).
 	Beaten int `json:"beaten"`
@@ -88,6 +124,9 @@ type SearchTrace struct {
 	top    []ScoredPlan
 	better func(a, b Plan) bool
 	score  func(Plan) float64
+	// mu makes the recording hooks race-safe; the parallel search merges
+	// per-partition tallies under it (absorb).
+	mu sync.Mutex
 }
 
 // begin snapshots the planning inputs and installs the objective's
@@ -133,7 +172,9 @@ func (t *SearchTrace) candidate() {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.Enumerated++
+	t.mu.Unlock()
 }
 
 // reject classifies one enumerated candidate's elimination.
@@ -141,34 +182,69 @@ func (t *SearchTrace) reject(r RejectReason) {
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
 	t.Rejected[r]++
+	t.mu.Unlock()
 }
 
-// feasible records one surviving candidate, keeping the best few ranked
-// by the objective comparator. Insertion preserves first-seen order on
-// ties, mirroring the planner's own "strictly better replaces" rule, so
-// top[0] is always the plan the planner will pick.
-func (t *SearchTrace) feasible(p Plan) {
-	if t == nil {
-		return
-	}
-	t.Feasible++
-	sp := ScoredPlan{Plan: p, Score: t.score(p)}
-	pos := len(t.top)
-	for i := range t.top {
-		if t.better(p, t.top[i].Plan) {
+// insertScored inserts sp into a bounded best-first list under better.
+// Insertion preserves first-seen order on ties, mirroring the planner's
+// own "strictly better replaces" rule, so top[0] is always the plan the
+// planner will pick from the candidates inserted so far.
+func insertScored(top []ScoredPlan, sp ScoredPlan, better func(a, b Plan) bool) []ScoredPlan {
+	pos := len(top)
+	for i := range top {
+		if better(sp.Plan, top[i].Plan) {
 			pos = i
 			break
 		}
 	}
 	if pos >= maxRunnersUp+1 {
+		return top
+	}
+	top = append(top, ScoredPlan{})
+	copy(top[pos+1:], top[pos:])
+	top[pos] = sp
+	if len(top) > maxRunnersUp+1 {
+		top = top[:maxRunnersUp+1]
+	}
+	return top
+}
+
+// feasible records one surviving candidate, keeping the best few ranked
+// by the objective comparator.
+func (t *SearchTrace) feasible(p Plan) {
+	if t == nil {
 		return
 	}
-	t.top = append(t.top, ScoredPlan{})
-	copy(t.top[pos+1:], t.top[pos:])
-	t.top[pos] = sp
-	if len(t.top) > maxRunnersUp+1 {
-		t.top = t.top[:maxRunnersUp+1]
+	t.mu.Lock()
+	t.Feasible++
+	t.top = insertScored(t.top, ScoredPlan{Plan: p, Score: t.score(p)}, t.better)
+	t.mu.Unlock()
+}
+
+// absorb folds one partition task's private tally into the trace. The
+// parallel search calls it at chunk barriers in enumeration order, so the
+// retained top list is byte-identical to a serial run: any candidate
+// evicted from a task-local bounded list would also have been evicted
+// from the global one (its evictors precede it globally too).
+func (t *SearchTrace) absorb(tal *partTally) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.Enumerated += tal.enumerated
+	for i, n := range tal.rejected {
+		if n > 0 {
+			t.Rejected[reasonByIndex[i]] += n
+		}
+	}
+	t.Feasible += tal.feasible
+	t.PrunedSubtrees += tal.prunedSubtrees
+	t.PrunedCandidates += tal.prunedCands
+	for _, sp := range tal.top {
+		t.top = insertScored(t.top, sp, t.better)
 	}
 }
 
@@ -252,6 +328,10 @@ func (t *SearchTrace) WriteExplain(w io.Writer) {
 	}
 	fmt.Fprintf(w, "ramps:  %d boundary candidate(s) kept (%d pruned below min exit mass, %d capped): %v\n",
 		len(t.RampCandidates), t.PrunedRamps, t.CappedRamps, t.RampCandidates)
+	if t.PrunedCandidates > 0 {
+		fmt.Fprintf(w, "pruned: %d candidate(s) in %d subtree(s) killed by dominance bounds before evaluation\n",
+			t.PrunedCandidates, t.PrunedSubtrees)
+	}
 	fmt.Fprintf(w, "enumerated %d candidate(s):\n", t.Enumerated)
 	for _, r := range rejectOrder {
 		if n := t.Rejected[r]; n > 0 {

@@ -64,6 +64,20 @@ type Config struct {
 	// Tracer optionally records spans across the run, including replan
 	// instants on the control-plane track. Nil disables telemetry.
 	Tracer *telemetry.Tracer
+
+	// PlanCacheSize bounds the cross-window plan cache. Zero takes
+	// DefaultPlanCacheSize; negative disables caching entirely.
+	PlanCacheSize int
+	// PlanCacheTolerance is the per-layer survival deviation under which
+	// two forecasts count as the same cached problem (zero takes
+	// DefaultPlanCacheTolerance).
+	PlanCacheTolerance float64
+
+	// MaxSplits, MaxBoundaryCands and PlannerWorkers forward to the
+	// planner; zero values take the planner's defaults.
+	MaxSplits        int
+	MaxBoundaryCands int
+	PlannerWorkers   int
 }
 
 // WindowStat is one window's outcome.
@@ -89,6 +103,9 @@ type WindowStat struct {
 
 	Replanned   bool `json:"replanned"`
 	PlanChanged bool `json:"plan_changed"`
+	// PlanCacheHit marks a replan answered from the cross-window plan
+	// cache instead of a fresh search.
+	PlanCacheHit bool `json:"plan_cache_hit"`
 }
 
 // Result is one run's outcome.
@@ -99,6 +116,10 @@ type Result struct {
 	Diffs       *optimizer.DiffRing
 	Replans     int
 	PlanChanges int
+	// PlanCacheHits counts replans served from the cross-window cache;
+	// PlanCacheMisses counts the ones that ran a search.
+	PlanCacheHits   int
+	PlanCacheMisses int
 
 	FinalPlan optimizer.Plan
 	// Provenance is the last planner invocation's search trace.
@@ -148,6 +169,26 @@ func Run(cfg Config) (*Result, error) {
 	havePlan := false
 	prevServed, prevViolations, prevDropped := 0, 0, 0
 
+	// Shared planner state across every window: the planning problem the
+	// optimizer sees for window w's forecast, one memoized segment-cost
+	// table (the model/batch/cluster geometry never changes mid-run, so
+	// every window's search reuses it), and the cross-window plan cache.
+	planConfig := func(pred profile.Batch, tr *optimizer.SearchTrace) optimizer.Config {
+		return optimizer.Config{
+			Model: cfg.Model, Profile: pred, Batch: cfg.Batch, Cluster: cfg.Cluster,
+			SLO: cfg.SLO, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac,
+			MaxSplits: cfg.MaxSplits, MaxBoundaryCands: cfg.MaxBoundaryCands,
+			Workers:    cfg.PlannerWorkers,
+			Pipelining: true, ModelParallel: true,
+			Trace: tr,
+		}
+	}
+	costs := optimizer.NewCostTableFor(planConfig(profile.Batch{}, nil))
+	var cache *PlanCache
+	if cfg.PlanCacheSize >= 0 {
+		cache = NewPlanCache(cfg.PlanCacheSize, cfg.PlanCacheTolerance)
+	}
+
 	for w := 0; w < cfg.Windows; w++ {
 		start := eng.Now()
 		pred := est.Predict()
@@ -162,14 +203,30 @@ func Run(cfg Config) (*Result, error) {
 		}
 		replanned := false
 		changed := false
+		cacheHit := false
 		if !havePlan || drift > cfg.DriftThreshold {
 			tr := &optimizer.SearchTrace{}
-			next, err := optimizer.MaximizeGoodput(optimizer.Config{
-				Model: cfg.Model, Profile: pred, Batch: cfg.Batch, Cluster: cfg.Cluster,
-				SLO: cfg.SLO, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
-				Trace: tr,
-			})
-			if err != nil {
+			ocfg := planConfig(pred, tr)
+			ocfg.Costs = costs
+			if cached, ok := cache.Lookup(ocfg); ok {
+				// The cache already solved a quantization-identical
+				// problem; reuse its winner without searching. The reuse is
+				// still a replan: it pushes a diff and a control-plane span,
+				// plus a plan-cache span marking the skipped search.
+				d := optimizer.DiffPlans(plan, cached)
+				d.Window, d.At = w, start
+				d.Reason = reason + " [plan cache]"
+				res.Diffs.Push(d)
+				res.Replans++
+				replanned, cacheHit = true, true
+				changed = d.Changed
+				if d.Changed {
+					res.PlanChanges++
+				}
+				cfg.Tracer.Replan(w, start)
+				cfg.Tracer.PlanCacheHit(w, start)
+				plan, planProfile, havePlan = cached, pred, true
+			} else if next, err := optimizer.MaximizeGoodput(ocfg); err != nil {
 				if !havePlan {
 					return nil, fmt.Errorf("replan: window %d: %w", w, err)
 				}
@@ -190,6 +247,7 @@ func Run(cfg Config) (*Result, error) {
 				cfg.Tracer.Replan(w, start)
 				plan, planProfile, havePlan = next, pred, true
 				res.Provenance = tr
+				cache.Store(ocfg, next)
 			}
 		}
 
@@ -241,6 +299,7 @@ func Run(cfg Config) (*Result, error) {
 			Drift:         drift,
 			Replanned:     replanned,
 			PlanChanged:   changed,
+			PlanCacheHit:  cacheHit,
 		})
 		coll.ResetWindow()
 	}
@@ -251,6 +310,9 @@ func Run(cfg Config) (*Result, error) {
 	res.Report = rep
 	res.FinalPlan = plan
 	res.MeanForecastMAE = est.Stats.MAE()
+	if cache != nil {
+		res.PlanCacheHits, res.PlanCacheMisses = cache.Hits, cache.Misses
+	}
 	return res, nil
 }
 

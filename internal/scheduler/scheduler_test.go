@@ -21,7 +21,7 @@ func testPlan(t *testing.T, clus *cluster.Cluster, batch int, easyFrac float64) 
 	prof := profile.FromDist(m, workload.Mix(easyFrac), 8000, 1)
 	cfg := optimizer.Config{
 		Model: m, Profile: prof, Batch: batch, Cluster: clus,
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	}
 	p, err := optimizer.MaximizeGoodput(cfg)
 	if err != nil {

@@ -26,7 +26,7 @@ func TestConservationAcrossRunners(t *testing.T) {
 	prof := profile.FromDist(m, dist, 8000, 1)
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: 8, Cluster: mkClus(),
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -23,6 +23,10 @@ type ControlPlane struct {
 	Diffs       *optimizer.DiffRing
 	Replans     int
 	PlanChanges int
+	// PlanCacheHits counts replans answered from the cross-window plan
+	// cache; PlanCacheMisses the ones that ran a fresh search.
+	PlanCacheHits   int
+	PlanCacheMisses int
 }
 
 // AttachControlPlane exposes control-plane observability through /v1/plan
@@ -36,11 +40,13 @@ func (a *API) AttachControlPlane(cp *ControlPlane) {
 
 // ReplanJSON is the /v1/plan replan-history block.
 type ReplanJSON struct {
-	Invocations    int                  `json:"invocations"`
-	PlanChanges    int                  `json:"plan_changes"`
-	HistoryTotal   int                  `json:"history_total"`
-	HistoryEvicted int                  `json:"history_evicted"`
-	History        []optimizer.PlanDiff `json:"history"`
+	Invocations     int                  `json:"invocations"`
+	PlanChanges     int                  `json:"plan_changes"`
+	PlanCacheHits   int                  `json:"plan_cache_hits"`
+	PlanCacheMisses int                  `json:"plan_cache_misses"`
+	HistoryTotal    int                  `json:"history_total"`
+	HistoryEvicted  int                  `json:"history_evicted"`
+	History         []optimizer.PlanDiff `json:"history"`
 }
 
 // controlPlaneJSON renders the attached control plane into a plan
@@ -51,11 +57,13 @@ func (a *API) controlPlaneJSON(resp *PlanResponse) {
 	}
 	resp.Provenance = a.cp.Provenance
 	rj := &ReplanJSON{
-		Invocations:    a.cp.Replans,
-		PlanChanges:    a.cp.PlanChanges,
-		HistoryTotal:   a.cp.Diffs.Total(),
-		HistoryEvicted: a.cp.Diffs.Evicted(),
-		History:        []optimizer.PlanDiff{},
+		Invocations:     a.cp.Replans,
+		PlanChanges:     a.cp.PlanChanges,
+		PlanCacheHits:   a.cp.PlanCacheHits,
+		PlanCacheMisses: a.cp.PlanCacheMisses,
+		HistoryTotal:    a.cp.Diffs.Total(),
+		HistoryEvicted:  a.cp.Diffs.Evicted(),
+		History:         []optimizer.PlanDiff{},
 	}
 	if items := a.cp.Diffs.Items(); items != nil {
 		rj.History = items
@@ -92,4 +100,10 @@ func (a *API) writeControlPlaneMetrics(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# HELP e3_replan_plan_changes_total Replans that changed the deployment.")
 	fmt.Fprintln(w, "# TYPE e3_replan_plan_changes_total counter")
 	fmt.Fprintf(w, "e3_replan_plan_changes_total %d\n", a.cp.PlanChanges)
+	fmt.Fprintln(w, "# HELP e3_replan_plan_cache_hits_total Replans answered from the cross-window plan cache.")
+	fmt.Fprintln(w, "# TYPE e3_replan_plan_cache_hits_total counter")
+	fmt.Fprintf(w, "e3_replan_plan_cache_hits_total %d\n", a.cp.PlanCacheHits)
+	fmt.Fprintln(w, "# HELP e3_replan_plan_cache_misses_total Replans that ran a fresh plan search.")
+	fmt.Fprintln(w, "# TYPE e3_replan_plan_cache_misses_total counter")
+	fmt.Fprintf(w, "e3_replan_plan_cache_misses_total %d\n", a.cp.PlanCacheMisses)
 }

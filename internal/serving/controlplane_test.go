@@ -115,13 +115,16 @@ func TestPlanEndpointRingWrap(t *testing.T) {
 	for i := 0; i < 7; i++ {
 		ring.Push(optimizer.PlanDiff{Window: i, Changed: true, Reason: fmt.Sprintf("w%d", i)})
 	}
-	api.AttachControlPlane(&ControlPlane{Diffs: ring, Replans: 7, PlanChanges: 7})
+	api.AttachControlPlane(&ControlPlane{Diffs: ring, Replans: 7, PlanChanges: 7, PlanCacheHits: 2, PlanCacheMisses: 5})
 	srv := httptest.NewServer(api.Handler())
 	defer srv.Close()
 	var resp PlanResponse
 	getJSON(t, srv.URL+"/v1/plan", &resp)
 	if resp.Replans.HistoryTotal != 7 || resp.Replans.HistoryEvicted != 4 {
 		t.Errorf("wrap accounting: %+v", resp.Replans)
+	}
+	if resp.Replans.PlanCacheHits != 2 || resp.Replans.PlanCacheMisses != 5 {
+		t.Errorf("plan-cache counters did not round-trip: %+v", resp.Replans)
 	}
 	if len(resp.Replans.History) != 3 {
 		t.Fatalf("retained %d diffs", len(resp.Replans.History))
@@ -145,6 +148,7 @@ func TestMetricsControlPlaneSeries(t *testing.T) {
 	est.Observe(profFromSurv(1, 0.4))
 	api.AttachControlPlane(&ControlPlane{
 		Forecast: est.Stats, Diffs: optimizer.NewDiffRing(4), Replans: 3, PlanChanges: 2,
+		PlanCacheHits: 5, PlanCacheMisses: 4,
 	})
 	srv := httptest.NewServer(api.Handler())
 	defer srv.Close()
@@ -177,6 +181,8 @@ func TestMetricsControlPlaneSeries(t *testing.T) {
 		"e3_forecast_safety_total{event=\"monotone-fix\"} 0\n",
 		"e3_replan_invocations_total 3\n",
 		"e3_replan_plan_changes_total 2\n",
+		"e3_replan_plan_cache_hits_total 5\n",
+		"e3_replan_plan_cache_misses_total 4\n",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
@@ -194,7 +200,7 @@ func replanFixture(t *testing.T) (optimizer.Plan, *optimizer.SearchTrace) {
 	prof := profile.FromDist(m, workload.Mix(0.8), 4000, 1)
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: 8, Cluster: cluster.Homogeneous(gpu.V100, 8),
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true, Trace: tr,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true, Trace: tr,
 	})
 	if err != nil {
 		t.Fatal(err)

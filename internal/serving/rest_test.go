@@ -23,7 +23,7 @@ func testAPI(t *testing.T) *API {
 	prof := profile.FromDist(m, workload.Mix(0.8), 4000, 1)
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: 8, Cluster: cluster.Homogeneous(gpu.V100, 8),
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	})
 	if err != nil {
 		t.Fatal(err)

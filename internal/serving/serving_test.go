@@ -24,7 +24,7 @@ func pipelineSetup(t *testing.T, nGPU, batch int) (*sim.Engine, *scheduler.Pipel
 	prof := profile.FromDist(m, workload.Mix(0.8), 8000, 1)
 	cfg := optimizer.Config{
 		Model: m, Profile: prof, Batch: batch, Cluster: clus,
-		SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+		SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 	}
 	plan, err := optimizer.MaximizeGoodput(cfg)
 	if err != nil {
@@ -126,7 +126,7 @@ func TestMaxGoodputFindsSustainableRate(t *testing.T) {
 		prof := profile.FromDist(m, workload.Mix(0.8), 8000, 1)
 		cfg := optimizer.Config{
 			Model: m, Profile: prof, Batch: 8, Cluster: clus,
-			SLO: 0.1, SlackFrac: 0.2, Pipelining: true, ModelParallel: true,
+			SLO: 0.1, SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		}
 		var err error
 		plan, err = optimizer.MaximizeGoodput(cfg)

@@ -45,6 +45,11 @@ const (
 	// the "control-plane" track), so Perfetto shows plan changes against
 	// the GPU occupancy timelines.
 	KindReplan
+	// KindPlanCache marks a replan that was answered from the cross-window
+	// plan cache instead of a fresh search (zero-duration span on the
+	// "control-plane" track, always paired with a KindReplan span at the
+	// same instant).
+	KindPlanCache
 )
 
 // String names the kind; it doubles as the Chrome trace "cat" field.
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "fuse"
 	case KindReplan:
 		return "replan"
+	case KindPlanCache:
+		return "plan-cache"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -77,6 +84,8 @@ func KindFromString(s string) (Kind, bool) {
 		return KindFuse, true
 	case "replan":
 		return KindReplan, true
+	case "plan-cache":
+		return KindPlanCache, true
 	}
 	return 0, false
 }
@@ -223,6 +232,15 @@ func (t *Tracer) Fuse(stage, batch int, start, end float64) {
 // index; Stage is -1 (not split work).
 func (t *Tracer) Replan(window int, at float64) {
 	t.Record(Span{Track: "control-plane", Kind: KindReplan,
+		Start: at, End: at, Stage: -1, Batch: window})
+}
+
+// PlanCacheHit records that window w's replan reused a cached plan rather
+// than searching. It rides the control-plane track next to the window's
+// KindReplan span so cached and searched replans are distinguishable in
+// Perfetto and in span queries.
+func (t *Tracer) PlanCacheHit(window int, at float64) {
+	t.Record(Span{Track: "control-plane", Kind: KindPlanCache,
 		Start: at, End: at, Stage: -1, Batch: window})
 }
 
