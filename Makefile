@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race audit replan overhead bench plangate
+.PHONY: verify build vet lint test race audit replan overhead bench plangate simgate
 
-verify: build vet lint test race audit replan overhead plangate
+verify: build vet lint test race audit replan overhead plangate simgate
 	@echo "verify: all checks passed"
 
 build:
@@ -55,8 +55,17 @@ plangate:
 	E3_PLAN_GATE=1 $(GO) test ./internal/optimizer/ -run TestPlannerPerfGate -v
 	$(GO) test ./internal/replan/ -run TestPlanCacheStableForecastGate -v
 
-# Planner microbenchmarks (cost-table build, reference vs memoized search,
-# worker scaling). `e3-bench -plan-bench BENCH_PR5.json` writes the same
-# comparison as JSON.
+# Data-plane fast-path gate: the full serving stack must sustain an
+# events/sec floor on a paper-scale Poisson slice, and pooled vs unpooled
+# runs must stay byte-identical. Env-gated like the other timing gates;
+# the determinism half always runs under plain `go test ./...`.
+# `e3-bench -sim-bench BENCH_PR6.json` writes the full measurement.
+simgate:
+	E3_SIM_GATE=1 $(GO) test ./internal/experiments/ -run 'TestSimGate|TestSimBenchPooledUnpooledByteIdentical' -v
+
+# Planner and data-plane microbenchmarks (cost-table build, reference vs
+# memoized search, engine heap churn, batcher flush, traced runner path).
+# `e3-bench -plan-bench BENCH_PR5.json` / `-sim-bench BENCH_PR6.json`
+# write the same comparisons as JSON.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' ./internal/optimizer/
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/optimizer/ ./internal/sim/ ./internal/serving/ ./internal/experiments/

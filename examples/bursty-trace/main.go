@@ -53,7 +53,10 @@ func main() {
 	}
 	batcher := serving.NewBatcher(eng, pipe, batch, plan.Latency, 0.2)
 	gen := workload.NewGenerator(workload.Mix(0.8), 7)
-	c := serving.RunOpenLoop(eng, pipe, batcher, arr, gen, slo)
+	c, err := serving.RunOpenLoop(eng, pipe, batcher, arr, gen, slo)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("goodput:     %.0f req/s (of %.0f offered)\n", c.Good.Goodput(), arr.Rate(horizon))
 	fmt.Printf("dropped:     %d  violations: %d\n", c.Dropped, c.Violations)

@@ -85,21 +85,73 @@ type Event struct {
 // Ledger records lifecycle events keyed by sample ID. It is not safe for
 // concurrent use; like the sim engine, all recording happens on the event
 // loop's goroutine.
+//
+// A ledger runs in one of two modes. The exhaustive mode (NewLedger)
+// stores every event of every sample — the default for experiments and
+// the verify gates. The sampled mode (NewSampledLedger) stores per-event
+// detail only for every Nth sample ID while still maintaining exact O(1)
+// terminal totals for the whole population, so conservation cross-checks
+// against the collector and telemetry stay exact at paper-trace scale
+// (tens of millions of requests) where exhaustive tracking would dominate
+// both memory and the event loop's hot path.
 type Ledger struct {
 	events map[int64][]Event
 	order  []int64
+	// stride samples per-event detail for ids divisible by it (≤1 =
+	// exhaustive).
+	stride int64
+	// Population-exact O(1) counters, maintained for every event whether
+	// or not its sample is tracked in detail.
+	arrivedTotal   int
+	completedTotal int
+	droppedTotal   int
+	byReasonTotal  map[Reason]int
 }
 
-// NewLedger returns an empty ledger.
+// NewLedger returns an empty exhaustive ledger.
 func NewLedger() *Ledger {
-	return &Ledger{events: make(map[int64][]Event)}
+	return &Ledger{events: make(map[int64][]Event), stride: 1, byReasonTotal: make(map[Reason]int)}
+}
+
+// NewSampledLedger returns a ledger that audits per-sample invariants on
+// every stride-th sample ID while keeping exact terminal totals for all
+// samples. A stride ≤ 1 is exhaustive.
+func NewSampledLedger(stride int64) *Ledger {
+	l := NewLedger()
+	if stride > 1 {
+		l.stride = stride
+	}
+	return l
 }
 
 // Enabled reports whether events are being recorded.
 func (l *Ledger) Enabled() bool { return l != nil }
 
+// Stride reports the detail-sampling stride (1 = exhaustive, nil = 0).
+func (l *Ledger) Stride() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.stride
+}
+
+// tracked reports whether the sample's per-event detail is stored.
+func (l *Ledger) tracked(id int64) bool { return l.stride <= 1 || id%l.stride == 0 }
+
 func (l *Ledger) record(id int64, e Event) {
 	if l == nil {
+		return
+	}
+	switch e.Kind {
+	case KindArrived:
+		l.arrivedTotal++
+	case KindCompleted:
+		l.completedTotal++
+	case KindDropped:
+		l.droppedTotal++
+		l.byReasonTotal[e.Reason]++
+	}
+	if !l.tracked(id) {
 		return
 	}
 	if _, seen := l.events[id]; !seen {
@@ -171,9 +223,18 @@ const maxViolations = 64
 
 // Report is the outcome of a conservation audit.
 type Report struct {
-	// Samples is the number of distinct tracked samples.
+	// Samples is the number of distinct samples: all detail-tracked
+	// samples for an exhaustive ledger, the exact population arrival
+	// count for a sampled one.
 	Samples int
-	// Completed and Dropped count terminal outcomes.
+	// Tracked is the number of samples audited in per-event detail
+	// (== Samples for an exhaustive ledger).
+	Tracked int
+	// Stride is the detail-sampling stride the ledger ran with (1 =
+	// exhaustive).
+	Stride int64
+	// Completed and Dropped count terminal outcomes, exact for the whole
+	// population in both modes.
 	Completed int
 	Dropped   int
 	// ByReason breaks Dropped down by classified reason.
@@ -229,6 +290,9 @@ func (r *Report) CrossCheck(completed, dropped int) {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "audit: %d samples, %d completed, %d dropped", r.Samples, r.Completed, r.Dropped)
+	if r.Stride > 1 {
+		fmt.Fprintf(&b, " [sampled: every %dth of %d audited in detail, totals exact]", r.Stride, r.Tracked)
+	}
 	if len(r.ByReason) > 0 {
 		reasons := make([]string, 0, len(r.ByReason))
 		for reason := range r.ByReason {
@@ -267,11 +331,24 @@ func knownReason(reason Reason) bool {
 // invariants, returning a report with per-stage tallies. A nil ledger
 // verifies vacuously (an empty, OK report).
 func (l *Ledger) Verify() *Report {
-	r := &Report{ByReason: make(map[Reason]int), Stages: make(map[int]*StageFlow)}
+	r := &Report{ByReason: make(map[Reason]int), Stages: make(map[int]*StageFlow), Stride: 1}
 	if l == nil {
 		return r
 	}
-	r.Samples = len(l.order)
+	r.Stride = l.stride
+	r.Tracked = len(l.order)
+	if l.stride > 1 {
+		// Sampled mode: population totals come from the exact O(1)
+		// counters; per-sample invariants below cover the tracked subset.
+		r.Samples = l.arrivedTotal
+	} else {
+		r.Samples = len(l.order)
+	}
+	r.Completed = l.completedTotal
+	r.Dropped = l.droppedTotal
+	for reason, n := range l.byReasonTotal {
+		r.ByReason[reason] = n
+	}
 	stage := func(si int) *StageFlow {
 		f := r.Stages[si]
 		if f == nil {
@@ -322,17 +399,17 @@ func (l *Ledger) Verify() *Report {
 		}
 		if terminals >= 1 {
 			// Attribute the first terminal to the last dispatched stage.
+			// (Population-level Completed/Dropped/ByReason totals come from
+			// the O(1) counters, exact in both modes; the stage tallies
+			// cover the detail-tracked subset.)
 			for _, e := range evs {
 				if e.Kind == KindCompleted {
-					r.Completed++
 					if lastStage >= 0 {
 						stage(lastStage).Completed++
 					}
 					break
 				}
 				if e.Kind == KindDropped {
-					r.Dropped++
-					r.ByReason[e.Reason]++
 					if lastStage >= 0 {
 						stage(lastStage).Dropped++
 					}
@@ -354,18 +431,57 @@ func (l *Ledger) Verify() *Report {
 }
 
 // DropBreakdown returns drops per classified reason without running a full
-// verification (for live stats endpoints).
+// verification (for live stats endpoints). The counts are population-exact
+// in both exhaustive and sampled modes (maintained as O(1) counters, so
+// this no longer walks the event store).
 func (l *Ledger) DropBreakdown() map[Reason]int {
 	out := make(map[Reason]int)
 	if l == nil {
 		return out
 	}
-	for _, evs := range l.events {
-		for _, e := range evs {
-			if e.Kind == KindDropped {
-				out[e.Reason]++
-			}
-		}
+	for reason, n := range l.byReasonTotal {
+		out[reason] = n
 	}
 	return out
+}
+
+// Digest renders every tracked sample's event sequence plus the exact
+// population totals as a canonical string. Two runs are behaviorally
+// identical exactly when their digests are byte-identical — the property
+// the pooled-vs-unpooled determinism tests and the simgate check assert.
+func (l *Ledger) Digest() string {
+	var b strings.Builder
+	if l == nil {
+		return ""
+	}
+	fmt.Fprintf(&b, "totals arrived=%d completed=%d dropped=%d", l.arrivedTotal, l.completedTotal, l.droppedTotal)
+	reasons := make([]string, 0, len(l.byReasonTotal))
+	for reason := range l.byReasonTotal {
+		reasons = append(reasons, string(reason))
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(&b, " %s=%d", reason, l.byReasonTotal[Reason(reason)])
+	}
+	b.WriteByte('\n')
+	for _, id := range l.order {
+		fmt.Fprintf(&b, "%d:", id)
+		for _, e := range l.events[id] {
+			fmt.Fprintf(&b, " %s@%v", e.Kind, e.At)
+			if e.Kind == KindDispatched {
+				fmt.Fprintf(&b, "(s%d,i%d)", e.Stage, e.Instance)
+			}
+			if e.Kind == KindMerged {
+				fmt.Fprintf(&b, "(s%d)", e.Stage)
+			}
+			if e.Kind == KindCompleted {
+				fmt.Fprintf(&b, "(x%d)", e.ExitLayer)
+			}
+			if e.Kind == KindDropped {
+				fmt.Fprintf(&b, "(%s)", e.Reason)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }

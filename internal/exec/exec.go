@@ -172,6 +172,18 @@ func RunSegment(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.S
 // along to the boundary — E3's compute saving comes from not forwarding
 // them to the next split, not from shrinking mid-split.
 func RunSplit(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spec, slowdown float64) Result {
+	var res Result
+	RunSplitInto(m, from, to, batch, spec, slowdown, &res)
+	return res
+}
+
+// RunSplitInto is RunSplit writing into a caller-owned Result whose
+// Completions/Survivors backing arrays are reused across calls — the hot
+// path runs one split per dispatched batch, so recycling the two slices
+// removes the dominant steady-state allocation. Scalar fields are reset
+// and the slices truncated to length zero (capacity kept); the caller must
+// treat any previous contents of res as dead.
+func RunSplitInto(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spec, slowdown float64, res *Result) {
 	L := m.Base.NumLayers()
 	if from < 1 || to > L || from > to {
 		panic(fmt.Sprintf("exec: bad split [%d,%d] for %d-layer model", from, to, L))
@@ -179,9 +191,13 @@ func RunSplit(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spe
 	if slowdown < 1 {
 		slowdown = 1
 	}
-	var res Result
+	res.Duration = 0
+	res.HandoffDelay = 0
+	res.UsefulFLOPs = 0
+	res.Completions = res.Completions[:0]
+	res.Survivors = res.Survivors[:0]
 	if len(batch) == 0 {
-		return res
+		return
 	}
 	b := len(batch)
 	rampFLOPs := m.RampFLOPs()
@@ -219,7 +235,6 @@ func RunSplit(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spe
 	for i := range res.Completions {
 		res.Completions[i].Offset = t + handoff
 	}
-	return res
 }
 
 // SplitHandoff predicts RunSplit's HandoffDelay for planning.

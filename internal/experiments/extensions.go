@@ -138,15 +138,24 @@ func ExtensionBuffers() Table {
 
 	eng.SetEventLimit(100_000_000)
 	feed(0, 2, steadyRate)
-	_ = eng.Run(2.1)
+	if err := eng.Run(2.1); err != nil {
+		t.Notes += " [ABORTED: " + err.Error() + "]"
+		return t
+	}
 	record("steady", steadyRate)
 
 	feed(2.1, 4.1, spikeRate)
-	_ = eng.Run(4.3)
+	if err := eng.Run(4.3); err != nil {
+		t.Notes += " [ABORTED: " + err.Error() + "]"
+		return t
+	}
 	record("spike", spikeRate)
 
 	feed(4.3, 12.3, steadyRate)
-	_ = eng.Run(12.5)
+	if err := eng.Run(12.5); err != nil {
+		t.Notes += " [ABORTED: " + err.Error() + "]"
+		return t
+	}
 	record("recovered", steadyRate)
 
 	sys.StopAutoReplan()

@@ -54,7 +54,9 @@ func latencyRun(mk func() *cluster.Cluster, m *ee.EEModel, build func(*sim.Engin
 	coll := scheduler.NewCollector(m.Base.NumLayers(), defaultSLO, 0)
 	r := build(eng, clus, coll)
 	gen := workload.NewGenerator(dist, seed)
-	serving.RunClosedLoop(eng, r, gen, batch, rate, 4.0, defaultSLO)
+	if _, err := serving.RunClosedLoop(eng, r, gen, batch, rate, 4.0, defaultSLO); err != nil {
+		return metrics.Summary{}
+	}
 	return coll.Lat.Summarize()
 }
 

@@ -59,7 +59,10 @@ func Fig19() Table {
 		r := build(eng, clus, coll)
 		b := serving.NewBatcher(eng, r, batch, est, defaultSlack)
 		gen := workload.NewGenerator(dist, 191)
-		c := serving.RunOpenLoop(eng, r, b, arr, gen, defaultSLO)
+		c, err := serving.RunOpenLoop(eng, r, b, arr, gen, defaultSLO)
+		if err != nil {
+			return 0, 0
+		}
 		return c.Good.Goodput(), c.Util.Utilization(eng.Now())
 	}
 

@@ -65,9 +65,15 @@ func ExtensionMultiTenant() Table {
 		}
 	}
 	eng.SetEventLimit(50_000_000)
-	_ = eng.RunAll()
+	if err := eng.RunAll(); err != nil {
+		t.Notes += " [ABORTED: " + err.Error() + "]"
+		return t
+	}
 	fleet.FlushAll()
-	_ = eng.RunAll()
+	if err := eng.RunAll(); err != nil {
+		t.Notes += " [ABORTED: " + err.Error() + "]"
+		return t
+	}
 
 	for _, a := range fleet.Allocations() {
 		var tn multi.Tenant

@@ -39,7 +39,10 @@ func ExtensionStraggler() Table {
 		}
 		gen := workload.NewGenerator(dist, 301)
 		// Offer 70% of the healthy plan so a healthy run is clean.
-		c := serving.RunClosedLoop(eng, pipe, gen, batch, plan.Goodput*0.7, 4.0, defaultSLO)
+		c, err := serving.RunClosedLoop(eng, pipe, gen, batch, plan.Goodput*0.7, 4.0, defaultSLO)
+		if err != nil {
+			return 0, 0, 0
+		}
 		total := c.Good.Served + c.Violations + c.Dropped
 		if total == 0 {
 			return 0, pipe.ExcludedInstances(), 0

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// exhaustiveQuantile recomputes the type-7 quantile from scratch — the
+// oracle the cached-sort fast path must match exactly.
+func exhaustiveQuantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	hi := lo
+	if float64(lo) < pos {
+		hi = lo + 1
+	}
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// TestQuantileCacheMatchesExhaustiveResort interleaves Observe and
+// Quantile calls and pins every read to the exhaustive re-sort oracle:
+// the dirty-flag cache must be invisible except in cost.
+func TestQuantileCacheMatchesExhaustiveResort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var r LatencyRecorder
+	var raw []float64
+	qs := []float64{0, 0.25, 0.5, 0.9, 0.99, 1}
+	for i := 0; i < 2000; i++ {
+		v := rng.Float64()
+		r.Observe(v)
+		raw = append(raw, v)
+		// Read mid-stream at irregular intervals so the cache is
+		// exercised in both dirty and clean states, including repeated
+		// reads with no new samples.
+		if i%7 == 0 {
+			for _, q := range qs {
+				got := r.Quantile(q)
+				want := exhaustiveQuantile(raw, q)
+				if got != want {
+					t.Fatalf("after %d samples: Quantile(%v) = %v, want exhaustive %v", i+1, q, got, want)
+				}
+				if again := r.Quantile(q); again != got {
+					t.Fatalf("repeated Quantile(%v) changed: %v then %v", q, got, again)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantileDoesNotReorderSamples pins the fix for the in-place sort:
+// quantile reads must leave the record-order view untouched.
+func TestQuantileDoesNotReorderSamples(t *testing.T) {
+	var r LatencyRecorder
+	in := []float64{0.5, 0.1, 0.9, 0.3, 0.7}
+	for _, v := range in {
+		r.Observe(v)
+	}
+	_ = r.Quantile(0.5)
+	_ = r.Summarize()
+	got := r.Samples()
+	for i, v := range in {
+		if got[i] != v {
+			t.Fatalf("Quantile reordered samples: %v, want record order %v", got, in)
+		}
+	}
+}

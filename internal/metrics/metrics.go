@@ -14,7 +14,12 @@ import (
 // The zero value is ready to use.
 type LatencyRecorder struct {
 	samples []float64
-	sorted  bool
+	// sorted caches an ordered copy of samples so repeated quantile reads
+	// (every /metrics scrape calls Quantile several times) cost O(n log n)
+	// once per batch of new observations, not per call — and the
+	// record-order view in samples is never reordered.
+	sorted []float64
+	dirty  bool
 }
 
 // Observe records one latency sample. Negative values are clamped to zero:
@@ -24,17 +29,23 @@ func (r *LatencyRecorder) Observe(lat float64) {
 		lat = 0
 	}
 	r.samples = append(r.samples, lat)
-	r.sorted = false
+	r.dirty = true
 }
 
 // Count reports the number of samples observed.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
+// Samples returns the observations in record order (the live slice; do
+// not mutate). Quantile never reorders it.
+func (r *LatencyRecorder) Samples() []float64 { return r.samples }
+
 func (r *LatencyRecorder) ensureSorted() {
-	if !r.sorted {
-		sort.Float64s(r.samples)
-		r.sorted = true
+	if !r.dirty && len(r.sorted) == len(r.samples) {
+		return
 	}
+	r.sorted = append(r.sorted[:0], r.samples...)
+	sort.Float64s(r.sorted)
+	r.dirty = false
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) using linear
@@ -47,20 +58,21 @@ func (r *LatencyRecorder) Quantile(q float64) float64 {
 		return 0
 	}
 	r.ensureSorted()
+	s := r.sorted
 	if q <= 0 {
-		return r.samples[0]
+		return s[0]
 	}
 	if q >= 1 {
-		return r.samples[len(r.samples)-1]
+		return s[len(s)-1]
 	}
-	pos := q * float64(len(r.samples)-1)
+	pos := q * float64(len(s)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return r.samples[lo]
+		return s[lo]
 	}
 	frac := pos - float64(lo)
-	return r.samples[lo]*(1-frac) + r.samples[hi]*frac
+	return s[lo]*(1-frac) + s[hi]*frac
 }
 
 // Min returns the smallest sample (0 if empty).

@@ -36,7 +36,9 @@ func NewDataParallel(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, devi
 		if idx < 0 || idx >= clus.Size() {
 			return nil, fmt.Errorf("scheduler: device index %d out of range", idx)
 		}
-		d.instances = append(d.instances, &instance{device: idx})
+		inst := &instance{device: idx}
+		inst.rearm = func() { d.runNext(inst) }
+		d.instances = append(d.instances, inst)
 		coll.Util.Register(clus.Devices[idx].ID)
 	}
 	return d, nil
@@ -76,7 +78,10 @@ func (d *DataParallel) runNext(inst *instance) {
 	}
 	inst.busy = true
 	batch := inst.queue[0]
-	inst.queue = inst.queue[1:]
+	// Compact in place so the popped head does not linger in the array.
+	n := copy(inst.queue, inst.queue[1:])
+	inst.queue[n] = nil
+	inst.queue = inst.queue[:n]
 
 	dev := d.clus.Devices[inst.device]
 	L := d.model.Base.NumLayers()
@@ -89,15 +94,26 @@ func (d *DataParallel) runNext(inst *instance) {
 	} else {
 		d.ewmaBatch = 0.9*d.ewmaBatch + 0.1*res.Duration
 	}
-	for _, c := range res.Completions {
-		c := c
-		d.eng.After(c.Offset, func() {
-			d.coll.Complete(c.Sample, d.eng.Now(), c.ExitLayer)
+	// RunSegment emits completions in ramp order with non-decreasing
+	// offsets; samples exiting at the same ramp share one. Group each
+	// equal-offset run into a single engine event — within-run order is the
+	// slice order and runs stay in emission order, so execution matches the
+	// per-sample events this replaces.
+	for lo, comps := 0, res.Completions; lo < len(comps); {
+		hi := lo + 1
+		for hi < len(comps) && comps[hi].Offset == comps[lo].Offset {
+			hi++
+		}
+		grp := comps[lo:hi]
+		d.eng.After(grp[0].Offset, func() {
+			done := d.eng.Now()
+			for _, c := range grp {
+				d.coll.Complete(c.Sample, done, c.ExitLayer)
+			}
 		})
+		lo = hi
 	}
-	d.eng.After(res.Duration, func() {
-		d.runNext(inst)
-	})
+	d.eng.After(res.Duration, inst.rearm)
 }
 
 // QueueDepth reports total batches awaiting execution (for backlog-aware

@@ -32,14 +32,30 @@ type Pipeline struct {
 	// stragglerFactor flags an instance whose batch ran this many times
 	// slower than planned.
 	stragglerFactor float64
+	// pool optionally recycles batch slices: ingested batches are dead
+	// once RunSplit has copied completions and survivors out of them, and
+	// survivor slices once the merge queue has absorbed them. Nil = no
+	// recycling (identical behavior, more allocation).
+	pool *workload.BatchPool
+	// compFree recycles completion buffers (active only when pool is set):
+	// a buffer is handed to RunSplitInto, rides the grouped completion
+	// event, and returns here once the collector has consumed it.
+	compFree [][]exec.Completion
 }
+
+// maxCompFree bounds the completion-buffer free list, mirroring the batch
+// pool's per-class bound.
+const maxCompFree = 64
 
 type stage struct {
 	split     optimizer.Split
 	instances []*instance
 	merge     []pendingSample
 	flushArm  bool
-	rr        int
+	// flushFn is the prebuilt partial-batch flush event, built once so
+	// drain does not allocate a fresh closure per arm.
+	flushFn func()
+	rr      int
 	// downstream is the planned residual time from this stage's dispatch
 	// to completion (its own stage time plus everything after); the merge
 	// flush uses it to dispatch partial batches before deadlines burn.
@@ -62,6 +78,9 @@ type instance struct {
 	strikes int
 	// excluded instances receive no new work (§3.3 straggler handling).
 	excluded bool
+	// rearm is the prebuilt "device freed, start the next batch" event,
+	// scheduled once per executed batch.
+	rearm func()
 }
 
 // NewPipeline binds a plan to concrete devices. It fails if the cluster
@@ -102,6 +121,18 @@ func NewPipeline(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, plan opt
 		rest += p.stages[i].split.StageTime + p.stages[i].split.CommTime
 		p.stages[i].downstream = rest
 	}
+	// Prebuild the per-instance rearm and per-stage flush events: both fire
+	// once per executed batch / armed flush on the hot path, and building
+	// them here means scheduling them allocates nothing.
+	for si, st := range p.stages {
+		for _, inst := range st.instances {
+			inst.rearm = func() { p.runNext(si, inst) }
+		}
+		st.flushFn = func() {
+			st.flushArm = false
+			p.flush(si)
+		}
+	}
 	return p, nil
 }
 
@@ -110,6 +141,12 @@ func (p *Pipeline) Collector() *Collector { return p.coll }
 
 // Plan returns the executing plan.
 func (p *Pipeline) Plan() optimizer.Plan { return p.plan }
+
+// SetPool attaches a batch pool shared with the batcher: ingested batches
+// are returned once their samples have been copied into completions and
+// survivors, and survivor slices once merged. A nil pool (the default)
+// allocates as before.
+func (p *Pipeline) SetPool(pool *workload.BatchPool) { p.pool = pool }
 
 // Ingest implements Runner: a formed batch enters stage 0.
 func (p *Pipeline) Ingest(batch []workload.Sample) {
@@ -175,7 +212,11 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	}
 	inst.busy = true
 	batch := inst.queue[0]
-	inst.queue = inst.queue[1:]
+	// Compact the per-instance queue in place: advancing the slice strands
+	// the popped head (and its batch) in the backing array until a realloc.
+	n := copy(inst.queue, inst.queue[1:])
+	inst.queue[n] = nil
+	inst.queue = inst.queue[:n]
 
 	st := p.stages[si]
 
@@ -194,12 +235,23 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	}
 	batch = viable
 	if len(batch) == 0 {
+		p.pool.Put(batch) // every sample shed; the array is dead
 		p.runNext(si, inst)
 		return
 	}
 
 	dev := p.clus.Devices[inst.device]
-	res := exec.RunSplit(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown)
+	// Hand RunSplitInto recycled output buffers: survivors come from the
+	// batch pool (they are Put back once merged), completions from the
+	// pipeline's own free list (Put back after the grouped completion event
+	// fires). With no pool both start empty and RunSplitInto allocates as
+	// RunSplit would — either way the values written are identical.
+	var res exec.Result
+	if p.pool != nil {
+		res.Completions = p.getCompBuf(len(batch))
+		res.Survivors = p.pool.Get(len(batch))[:0]
+	}
+	exec.RunSplitInto(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown, &res)
 	p.coll.Util.AddBusy(dev.ID, now, res.Duration)
 	p.coll.Trace.Execute(dev.ID, string(dev.Kind), si, len(batch), now, now+res.Duration)
 
@@ -214,12 +266,25 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 		}
 	}
 
-	for _, c := range res.Completions {
-		c := c
-		p.eng.After(c.Offset, func() {
-			p.coll.Complete(c.Sample, p.eng.Now(), c.ExitLayer)
+	// RunSplit stamps every completion of a batch with the same offset
+	// (compute end + handoff), so one engine event completes them all:
+	// within-batch order is the slice order, matching the per-sample events
+	// this replaces (consecutive seq at equal time), and the heap carries
+	// one event per batch instead of one per sample.
+	if comps := res.Completions; len(comps) > 0 {
+		p.eng.After(comps[0].Offset, func() {
+			done := p.eng.Now()
+			for _, c := range comps {
+				p.coll.Complete(c.Sample, done, c.ExitLayer)
+			}
+			p.putCompBuf(comps)
 		})
+	} else {
+		p.putCompBuf(res.Completions)
 	}
+	// Completions and survivors are value copies, so the ingested batch is
+	// dead from here on and its array can back a future dispatch.
+	p.pool.Put(batch)
 	if len(res.Survivors) > 0 && si+1 < len(p.stages) {
 		// Choose the target instance now, before computing transfer time:
 		// dispatch round-robins across replicas, and on clusters with
@@ -233,12 +298,14 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 		p.eng.After(res.Duration+res.HandoffDelay+comm, func() {
 			p.receive(si+1, survivors, target)
 		})
+	} else {
+		// No survivors to forward (all exited, or final stage): the
+		// survivors buffer is idle — recycle it now.
+		p.pool.Put(res.Survivors)
 	}
 	// Pipelining: the instance frees at compute completion; handoff and
 	// transfer overlap the next batch.
-	p.eng.After(res.Duration, func() {
-		p.runNext(si, inst)
-	})
+	p.eng.After(res.Duration, inst.rearm)
 }
 
 // receive merges survivors into a stage's queue and forms batches. dest is
@@ -250,18 +317,26 @@ func (p *Pipeline) receive(si int, survivors []workload.Sample, dest *instance) 
 		p.coll.Audit.Merged(s.ID, now, si)
 		st.merge = append(st.merge, pendingSample{s: s, at: now, dest: dest})
 	}
+	// The merge queue copied every survivor by value; recycle the slice.
+	p.pool.Put(survivors)
 	p.drain(si)
 }
 
 // takeMerged removes the first n merge-queue entries of a stage, returning
-// the formed batch and the transfer destination of its head.
-func (st *stage) takeMerged(n int) ([]workload.Sample, *instance) {
-	batch := make([]workload.Sample, n)
+// the formed batch (drawn from the pool when one is attached) and the
+// transfer destination of its head. The merge queue is compacted in place
+// so consumed entries do not linger in the backing array.
+func (st *stage) takeMerged(n int, pool *workload.BatchPool) ([]workload.Sample, *instance) {
+	batch := pool.Get(n)
 	dest := st.merge[0].dest
 	for i := 0; i < n; i++ {
 		batch[i] = st.merge[i].s
 	}
-	st.merge = st.merge[n:]
+	m := copy(st.merge, st.merge[n:])
+	for i := m; i < len(st.merge); i++ {
+		st.merge[i] = pendingSample{}
+	}
+	st.merge = st.merge[:m]
 	return batch, dest
 }
 
@@ -271,7 +346,7 @@ func (st *stage) takeMerged(n int) ([]workload.Sample, *instance) {
 func (p *Pipeline) fuseAndDispatch(si, n int) {
 	st := p.stages[si]
 	headAt := st.merge[0].at
-	batch, dest := st.takeMerged(n)
+	batch, dest := st.takeMerged(n, p.pool)
 	p.coll.Trace.Fuse(si, len(batch), headAt, p.eng.Now())
 	p.dispatchMerged(si, dest, batch)
 }
@@ -312,11 +387,40 @@ func (p *Pipeline) drain(si int) {
 		if delay < 0 {
 			delay = 0
 		}
-		p.eng.After(delay, func() {
-			st.flushArm = false
-			p.flush(si)
-		})
+		p.eng.After(delay, st.flushFn)
 	}
+}
+
+// getCompBuf returns a zero-length completion buffer with capacity for n
+// entries, recycled when the free list has one. Buffers are only recycled
+// when a batch pool is attached; otherwise it returns nil and append
+// allocates exactly as the unpooled path always has.
+func (p *Pipeline) getCompBuf(n int) []exec.Completion {
+	if p.pool == nil {
+		return nil
+	}
+	if k := len(p.compFree); k > 0 {
+		b := p.compFree[k-1]
+		p.compFree[k-1] = nil
+		p.compFree = p.compFree[:k-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]exec.Completion, 0, n)
+}
+
+// putCompBuf zeroes a completion buffer and files it for reuse; the caller
+// must not retain any alias afterwards.
+func (p *Pipeline) putCompBuf(b []exec.Completion) {
+	if p.pool == nil || cap(b) == 0 || len(p.compFree) >= maxCompFree {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = exec.Completion{}
+	}
+	p.compFree = append(p.compFree, b[:0])
 }
 
 // flush dispatches a partial batch whose head can wait no longer.

@@ -119,11 +119,15 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			dev := s.clus.Devices[i%g]
 			s.coll.Util.AddBusy(dev.ID, now+elapsed, res.Duration)
 			s.coll.Trace.Execute(dev.ID, string(dev.Kind), si, hi-lo, now+elapsed, now+elapsed+res.Duration)
-			for _, c := range res.Completions {
-				c := c
-				// Completion lands at the end of this phase.
+			// Every completion of this batch lands at the end of the phase;
+			// one event finishes them all in slice order, matching the
+			// per-sample events this replaces.
+			if comps := res.Completions; len(comps) > 0 {
 				s.eng.After(elapsed+res.Duration+res.HandoffDelay, func() {
-					s.coll.Complete(c.Sample, s.eng.Now(), c.ExitLayer)
+					done := s.eng.Now()
+					for _, c := range comps {
+						s.coll.Complete(c.Sample, done, c.ExitLayer)
+					}
 				})
 			}
 			survivors = append(survivors, res.Survivors...)

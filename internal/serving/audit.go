@@ -37,7 +37,12 @@ func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (schedul
 	gen.SetAudit(coll.Audit)
 	gen.SetTrace(tr)
 	b := NewBatcher(eng, r, batch, estService, 0.2)
-	c := RunOpenLoop(eng, r, b, arr, gen, slo)
+	c, err := RunOpenLoop(eng, r, b, arr, gen, slo)
+	if err != nil {
+		// A truncated run cannot be audited — conservation is trivially
+		// violated when in-flight samples were abandoned mid-event-loop.
+		return nil, c, err
+	}
 	rep := c.AuditReport()
 	tr.Reconcile(rep)
 	return rep, c, nil

@@ -36,6 +36,10 @@ type Batcher struct {
 	// it. flushAt is the fire time of the live timer (+Inf when none).
 	flushGen int
 	flushAt  float64
+	// pool optionally recycles dispatched batch slices through the runner
+	// (nil = allocate per dispatch, the pre-fast-path behavior; pooling
+	// never changes dispatched values, only allocation reuse).
+	pool *workload.BatchPool
 }
 
 // NewBatcher wires a dynamic batcher in front of a runner.
@@ -52,6 +56,11 @@ func NewBatcher(eng *sim.Engine, r scheduler.Runner, batch int, estService, slac
 // ledger returns the lifecycle ledger shared through the collector (nil
 // when auditing is off; audit methods are nil-safe).
 func (b *Batcher) ledger() *audit.Ledger { return b.runner.Collector().Audit }
+
+// SetPool attaches a batch pool; dispatched slices are drawn from it and
+// the runner (which owns them from dispatch on) returns them when done.
+// A nil pool restores per-dispatch allocation.
+func (b *Batcher) SetPool(p *workload.BatchPool) { b.pool = p }
 
 // Arrive accepts one request at the current virtual time.
 func (b *Batcher) Arrive(s workload.Sample) {
@@ -107,15 +116,30 @@ func (b *Batcher) dispatch(n int) {
 	if n == 0 {
 		return
 	}
-	batch := make([]workload.Sample, n)
+	batch := b.pool.Get(n)
 	copy(batch, b.queue[:n])
-	b.queue = b.queue[n:]
+	// Compact the queue in place instead of advancing the slice: an
+	// advancing slice strands the dispatched prefix in the backing array
+	// (alive but unreachable) and sheds capacity until the next realloc —
+	// on hour-long traces that is steady allocation churn plus retained
+	// memory for already-dispatched samples.
+	m := copy(b.queue, b.queue[n:])
+	clearSamples(b.queue[m:])
+	b.queue = b.queue[:m]
 	// The head entered the queue at its arrival (admission happens in
 	// Arrive), so head wait = now − arrival.
 	b.runner.Collector().Trace.QueueWait(len(batch), batch[0].Arrival, b.eng.Now())
 	b.runner.Ingest(batch)
 	b.disarmFlush()
 	b.armFlush()
+}
+
+// clearSamples zeroes a slice's elements so samples that left the queue
+// do not stay alive through the backing array.
+func clearSamples(s []workload.Sample) {
+	for i := range s {
+		s[i] = workload.Sample{}
+	}
 }
 
 // disarmFlush invalidates any in-flight flush timer.
@@ -167,7 +191,11 @@ func (b *Batcher) armFlush() {
 func (b *Batcher) flush() {
 	now := b.eng.Now()
 	// Shed anything already hopeless, dispatch the rest if the head is
-	// under pressure.
+	// under pressure. The rebuild reuses the queue's backing array, and
+	// the vacated tail is zeroed: without that, every shed sample stayed
+	// alive in the array's tail until a future append overwrote it — on
+	// long-horizon runs, retained memory for requests the system had
+	// already flushed.
 	kept := b.queue[:0]
 	for _, s := range b.queue {
 		if b.deadlineHopeless(s, now) {
@@ -176,6 +204,7 @@ func (b *Batcher) flush() {
 		}
 		kept = append(kept, s)
 	}
+	clearSamples(b.queue[len(kept):])
 	b.queue = kept
 	if len(b.queue) == 0 {
 		return

@@ -106,7 +106,7 @@ func TestRunClosedLoopOffersExactBatchCount(t *testing.T) {
 	eng := sim.NewEngine()
 	f := &fakeRunner{coll: scheduler.NewCollector(12, 0.1, 0)}
 	gen := workload.NewGenerator(workload.Mix(0.8), 1)
-	RunClosedLoop(eng, f, gen, 1, 10, 2, 0.1)
+	_, _ = RunClosedLoop(eng, f, gen, 1, 10, 2, 0.1)
 	if got, want := len(f.batches), 20; got != want {
 		t.Fatalf("offered %d batches, want %d (float drift dropped the final interval)", got, want)
 	}

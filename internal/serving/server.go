@@ -10,32 +10,77 @@ import (
 // Flusher is a runner-side hook to drain partial state at end of run.
 type Flusher interface{ FlushAll() }
 
+// defaultEventLimit is the runaway backstop installed when the caller did
+// not set one: far above any legitimate experiment, so hitting it means a
+// scheduling loop, and the error says so instead of spinning forever.
+const defaultEventLimit = 50_000_000
+
+// ensureEventLimit installs the backstop unless the caller configured a
+// limit already — drivers must not silently clobber a stricter one.
+func ensureEventLimit(eng *sim.Engine) {
+	if eng.EventLimit() == 0 {
+		eng.SetEventLimit(defaultEventLimit)
+	}
+}
+
+// drainRun runs the engine dry, flushes end-of-run partial state, and runs
+// the resulting completions dry too. Any event-limit abort is returned —
+// callers must not read results from a run that was cut short.
+func drainRun(eng *sim.Engine, r scheduler.Runner, b *Batcher) (*scheduler.Collector, error) {
+	ensureEventLimit(eng)
+	err := eng.RunAll()
+	if b != nil {
+		b.Flush()
+	}
+	if f, ok := r.(Flusher); ok {
+		f.FlushAll()
+	}
+	if err2 := eng.RunAll(); err == nil {
+		err = err2
+	}
+	c := r.Collector()
+	c.Good.CloseAt(eng.Now())
+	return c, err
+}
+
 // RunOpenLoop replays an arrival trace through a dynamic batcher and runs
 // the simulation to completion. It returns the runner's collector for
-// inspection.
-func RunOpenLoop(eng *sim.Engine, r scheduler.Runner, b *Batcher, arr trace.Arrivals, gen *workload.Generator, slo float64) *scheduler.Collector {
+// inspection, and a non-nil error if the engine aborted on its event
+// limit (the collector then reflects a truncated run).
+func RunOpenLoop(eng *sim.Engine, r scheduler.Runner, b *Batcher, arr trace.Arrivals, gen *workload.Generator, slo float64) (*scheduler.Collector, error) {
 	for _, at := range arr {
 		at := at
 		eng.At(at, func() {
 			b.Arrive(gen.Next(eng.Now(), slo))
 		})
 	}
-	eng.SetEventLimit(50_000_000)
-	_ = eng.RunAll()
-	b.Flush()
-	if f, ok := r.(Flusher); ok {
-		f.FlushAll()
+	return drainRun(eng, r, b)
+}
+
+// RunOpenLoopStream is RunOpenLoop over a pull-based arrival stream: one
+// self-rescheduling event consumes arrivals one at a time, so an hour at
+// 9000 req/s costs one live arrival event instead of 32M pre-scheduled
+// closures. Arrival order and times are identical to materializing the
+// stream and calling RunOpenLoop.
+func RunOpenLoopStream(eng *sim.Engine, r scheduler.Runner, b *Batcher, st trace.Stream, gen *workload.Generator, slo float64) (*scheduler.Collector, error) {
+	var step func()
+	step = func() {
+		b.Arrive(gen.Next(eng.Now(), slo))
+		if at, ok := st.Next(); ok {
+			eng.At(at, step)
+		}
 	}
-	_ = eng.RunAll()
-	c := r.Collector()
-	c.Good.CloseAt(eng.Now())
-	return c
+	if at, ok := st.Next(); ok {
+		eng.At(at, step)
+	}
+	return drainRun(eng, r, b)
 }
 
 // RunClosedLoop feeds full batches at a fixed offered rate for a horizon
 // (closed-loop clients always have inputs waiting, §4). Samples carry the
-// SLO deadline so goodput accounting matches the paper's definition.
-func RunClosedLoop(eng *sim.Engine, r scheduler.Runner, gen *workload.Generator, batch int, rate, horizon, slo float64) *scheduler.Collector {
+// SLO deadline so goodput accounting matches the paper's definition. The
+// error reports an event-limit abort, as in RunOpenLoop.
+func RunClosedLoop(eng *sim.Engine, r scheduler.Runner, gen *workload.Generator, batch int, rate, horizon, slo float64) (*scheduler.Collector, error) {
 	// Arrival times are multiples of the interval computed from an integer
 	// counter: accumulating `at += interval` drifts by one ulp per step
 	// over long horizons, silently dropping (or adding) the final batch.
@@ -47,15 +92,7 @@ func RunClosedLoop(eng *sim.Engine, r scheduler.Runner, gen *workload.Generator,
 			r.Ingest(gen.Batch(batch, eng.Now(), slo))
 		})
 	}
-	eng.SetEventLimit(50_000_000)
-	_ = eng.RunAll()
-	if f, ok := r.(Flusher); ok {
-		f.FlushAll()
-	}
-	_ = eng.RunAll()
-	c := r.Collector()
-	c.Good.CloseAt(eng.Now())
-	return c
+	return drainRun(eng, r, nil)
 }
 
 // BuildFn constructs a fresh engine + runner pair for one goodput probe.
@@ -68,7 +105,12 @@ type BuildFn func() (*sim.Engine, scheduler.Runner)
 func MaxGoodput(build BuildFn, gen func() *workload.Generator, batch int, slo, horizon, upper, tolFrac float64) float64 {
 	probe := func(rate float64) (bool, float64) {
 		eng, r := build()
-		c := RunClosedLoop(eng, r, gen(), batch, rate, horizon, slo)
+		c, err := RunClosedLoop(eng, r, gen(), batch, rate, horizon, slo)
+		if err != nil {
+			// An event-limit abort means the probe rate drove the system
+			// into a scheduling loop: treat the rate as infeasible.
+			return false, 0
+		}
 		total := c.Good.Served + c.Violations + c.Dropped
 		if total == 0 {
 			return false, 0

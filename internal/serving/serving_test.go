@@ -94,7 +94,7 @@ func TestRunClosedLoopServesOfferedLoad(t *testing.T) {
 	eng, p, plan, _ := pipelineSetup(t, 16, 8)
 	gen := workload.NewGenerator(workload.Mix(0.8), 4)
 	rate := plan.Goodput * 0.7
-	c := RunClosedLoop(eng, p, gen, 8, rate, 5, 0.1)
+	c, _ := RunClosedLoop(eng, p, gen, 8, rate, 5, 0.1)
 	total := c.Good.Served + c.Violations + c.Dropped
 	if total == 0 {
 		t.Fatal("nothing offered")
@@ -112,7 +112,7 @@ func TestRunClosedLoopOverload(t *testing.T) {
 	eng, p, plan, _ := pipelineSetup(t, 8, 8)
 	gen := workload.NewGenerator(workload.Mix(0.8), 5)
 	// 3x the plan: violations/drops must appear.
-	c := RunClosedLoop(eng, p, gen, 8, plan.Goodput*3, 3, 0.1)
+	c, _ := RunClosedLoop(eng, p, gen, 8, plan.Goodput*3, 3, 0.1)
 	if c.Violations+c.Dropped == 0 {
 		t.Error("overload produced no violations")
 	}
@@ -159,7 +159,7 @@ func TestRunOpenLoopBursty(t *testing.T) {
 	arr := trace.Bursty(trace.DefaultBursty(800), 20, 7)
 	gen := workload.NewGenerator(workload.Mix(0.8), 7)
 	gen.SetAudit(p.Collector().Audit)
-	c := RunOpenLoop(eng, p, b, arr, gen, 0.1)
+	c, _ := RunOpenLoop(eng, p, b, arr, gen, 0.1)
 	total := c.Good.Served + c.Violations + c.Dropped
 	if total != len(arr) {
 		t.Fatalf("accounted %d of %d arrivals", total, len(arr))

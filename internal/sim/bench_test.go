@@ -5,6 +5,7 @@ import "testing"
 // BenchmarkEngineThroughput measures raw event dispatch rate — the floor
 // under every serving simulation in the repository.
 func BenchmarkEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
 	var tick func()
 	n := 0
@@ -21,9 +22,44 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReferenceEngineThroughput is the retained pre-fast-path
+// baseline for BenchmarkEngineThroughput (container/heap, one pointer
+// allocation per event).
+func BenchmarkReferenceEngineThroughput(b *testing.B) {
+	b.ReportAllocs()
+	e := NewReferenceEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1e-6, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(1e-6, tick)
+	e.RunAll()
+}
+
 // BenchmarkEngineHeapChurn measures push+pop with a deep pending heap.
 func BenchmarkEngineHeapChurn(b *testing.B) {
+	b.ReportAllocs()
 	e := NewEngine()
+	for i := 0; i < 10000; i++ {
+		e.At(float64(i), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+1e4, func() {})
+		e.Step()
+	}
+}
+
+// BenchmarkReferenceEngineHeapChurn is the retained baseline for
+// BenchmarkEngineHeapChurn.
+func BenchmarkReferenceEngineHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	e := NewReferenceEngine()
 	for i := 0; i < 10000; i++ {
 		e.At(float64(i), func() {})
 	}

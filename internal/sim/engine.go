@@ -5,10 +5,19 @@
 // deterministic). Virtual time is expressed in seconds as float64, which
 // keeps latency/throughput math simple and avoids time.Duration overflow
 // for long simulated horizons.
+//
+// The heap is an index-based value heap: events live inline in the
+// backing slice, which doubles as the free list — a popped slot is reused
+// by the next push, so steady-state scheduling performs no allocation at
+// all (the paper-scale traces push tens of millions of events through
+// this structure; see README "Data-plane performance"). Pop order depends
+// only on the (at, seq) total order, never on the heap's internal layout,
+// so it is bit-identical to the retained container/heap reference
+// implementation (ReferenceEngine), which the soak and equivalence tests
+// enforce.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -24,41 +33,26 @@ type event struct {
 	fn  func()
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	// Exactness is the point: two events are simultaneous only when their
-	// timestamps are bit-identical, and then insertion order breaks the
-	// tie. An epsilon here would merge close-but-distinct times and
-	// reorder causally dependent events.
-	if h[i].at != h[j].at { //e3:exactfloat heap tie-break needs bitwise equality
-		return h[i].at < h[j].at
+// less orders events by timestamp, insertion sequence breaking ties.
+// Exactness is the point: two events are simultaneous only when their
+// timestamps are bit-identical. An epsilon here would merge
+// close-but-distinct times and reorder causally dependent events.
+func (e *event) less(o *event) bool {
+	if e.at != o.at { //e3:exactfloat heap tie-break needs bitwise equality
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return e.seq < o.seq
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on the caller's
 // goroutine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+	// events is a binary min-heap of inline event values ordered by
+	// (at, seq); the slice's spare capacity is the free list.
+	events []event
 	// Processed counts events executed, for diagnostics and runaway guards.
 	processed uint64
 	// limit aborts Run after this many events (0 = no limit). It exists to
@@ -81,6 +75,11 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // guard).
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 
+// EventLimit reports the configured event limit (0 = no limit), so
+// drivers can install a default runaway guard without clobbering a
+// caller's stricter one.
+func (e *Engine) EventLimit() uint64 { return e.limit }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it is always a model bug and silently clamping it would
 // corrupt causality.
@@ -92,7 +91,8 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at non-finite time %v", t))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
@@ -103,17 +103,67 @@ func (e *Engine) After(d float64, fn func()) {
 // Pending reports the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// siftUp restores the heap invariant after appending at index i.
+func (e *Engine) siftUp(i int) {
+	h := e.events
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].less(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// siftDown restores the heap invariant after replacing the root.
+func (e *Engine) siftDown() {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h[right].less(&h[left]) {
+			least = right
+		}
+		if !h[least].less(&h[i]) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event ran.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	n := len(e.events)
+	if n == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
+	at, fn := e.events[0].at, e.events[0].fn
+	e.events[0] = e.events[n-1]
+	// Zero the vacated tail slot so the callback (and anything it
+	// captures) does not linger in the backing array past execution.
+	e.events[n-1] = event{}
+	e.events = e.events[:n-1]
+	e.siftDown()
+	e.now = at
 	e.processed++
-	ev.fn()
+	fn()
 	return true
+}
+
+// limitErr reports an event-limit abort unambiguously: callers chaining
+// Run windows must be able to tell a limit abort (work still pending)
+// from a drained queue.
+func (e *Engine) limitErr() error {
+	return fmt.Errorf("sim: event limit %d exceeded at t=%v with %d event(s) still pending",
+		e.limit, e.now, len(e.events))
 }
 
 // Run executes events until the queue drains or the next event lies beyond
@@ -123,7 +173,7 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(until Time) error {
 	for len(e.events) > 0 && e.events[0].at <= until {
 		if e.limit > 0 && e.processed >= e.limit {
-			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+			return e.limitErr()
 		}
 		e.Step()
 	}
@@ -138,7 +188,7 @@ func (e *Engine) Run(until Time) error {
 func (e *Engine) RunAll() error {
 	for len(e.events) > 0 {
 		if e.limit > 0 && e.processed >= e.limit {
-			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+			return e.limitErr()
 		}
 		e.Step()
 	}

@@ -144,6 +144,12 @@ type Tracer struct {
 	// events), giving the observation horizon even after ring eviction.
 	firstAt, lastAt float64
 	seenAt          bool
+
+	// xferTrack/mergeTrack cache the per-stage track names: Transfer and
+	// Fuse fire once per batch, and formatting the same handful of strings
+	// millions of times was measurable on hour-long traces.
+	xferTrack  map[int]string
+	mergeTrack map[int]string
 }
 
 // New returns an unbounded tracer, for full-run trace export.
@@ -215,14 +221,36 @@ func (t *Tracer) QueueWait(batch int, start, end float64) {
 
 // Transfer records an inter-split activation transfer out of fromStage.
 func (t *Tracer) Transfer(fromStage, batch int, start, end float64) {
-	t.Record(Span{Track: fmt.Sprintf("xfer:s%d->s%d", fromStage, fromStage+1),
+	if t == nil {
+		return
+	}
+	track, ok := t.xferTrack[fromStage]
+	if !ok {
+		track = fmt.Sprintf("xfer:s%d->s%d", fromStage, fromStage+1)
+		if t.xferTrack == nil {
+			t.xferTrack = make(map[int]string)
+		}
+		t.xferTrack[fromStage] = track
+	}
+	t.Record(Span{Track: track,
 		Kind: KindTransfer, Start: start, End: end, Stage: fromStage, Batch: batch})
 }
 
 // Fuse records a merge-queue head's wait for survivor batch re-formation
 // at stage.
 func (t *Tracer) Fuse(stage, batch int, start, end float64) {
-	t.Record(Span{Track: fmt.Sprintf("merge:s%d", stage), Kind: KindFuse,
+	if t == nil {
+		return
+	}
+	track, ok := t.mergeTrack[stage]
+	if !ok {
+		track = fmt.Sprintf("merge:s%d", stage)
+		if t.mergeTrack == nil {
+			t.mergeTrack = make(map[int]string)
+		}
+		t.mergeTrack[stage] = track
+	}
+	t.Record(Span{Track: track, Kind: KindFuse,
 		Start: start, End: end, Stage: stage, Batch: batch})
 }
 

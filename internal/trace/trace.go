@@ -46,6 +46,59 @@ func Poisson(rate, horizon float64, seed int64) Arrivals {
 	}
 }
 
+// Stream yields arrival times one at a time, in order. Hour-scale traces
+// at paper rates (9000 req/s × 3600 s ≈ 32M arrivals) need not be
+// materialized as a slice — the open-loop driver pulls the next arrival
+// as it consumes the previous one, keeping memory O(1) in trace length.
+type Stream interface {
+	// Next returns the next arrival time; ok is false once the horizon is
+	// exhausted.
+	Next() (at float64, ok bool)
+}
+
+// PoissonStream is the streaming form of Poisson: for equal (rate,
+// horizon, seed) it yields exactly the arrival sequence Poisson returns,
+// one draw at a time. Bursty cannot stream — its exact-rate thinning pass
+// needs the full realization first.
+type PoissonStream struct {
+	rng           *rand.Rand
+	rate, horizon float64
+	t             float64
+}
+
+// NewPoissonStream starts a homogeneous Poisson arrival stream.
+func NewPoissonStream(rate, horizon float64, seed int64) *PoissonStream {
+	return &PoissonStream{rng: rand.New(rand.NewSource(seed)), rate: rate, horizon: horizon}
+}
+
+// Next implements Stream.
+func (p *PoissonStream) Next() (float64, bool) {
+	p.t += p.rng.ExpFloat64() / p.rate
+	if p.t > p.horizon {
+		return 0, false
+	}
+	return p.t, true
+}
+
+// SliceStream adapts a materialized Arrivals list to the Stream interface.
+type SliceStream struct {
+	arr Arrivals
+	i   int
+}
+
+// NewSliceStream streams an existing arrival list.
+func NewSliceStream(arr Arrivals) *SliceStream { return &SliceStream{arr: arr} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (float64, bool) {
+	if s.i >= len(s.arr) {
+		return 0, false
+	}
+	at := s.arr[s.i]
+	s.i++
+	return at, true
+}
+
 // BurstyConfig shapes the Twitter-like generator.
 type BurstyConfig struct {
 	// AvgRate is the target mean arrival rate after scaling (req/s).

@@ -1,0 +1,103 @@
+package workload
+
+import "testing"
+
+func TestBatchPoolRecyclesAndZeroes(t *testing.T) {
+	p := NewBatchPool()
+	a := p.Get(8)
+	for i := range a {
+		a[i] = Sample{ID: int64(i + 1), Difficulty: 0.5, Arrival: 1, Deadline: 2}
+	}
+	backing := &a[0]
+	p.Put(a)
+	// The pooled backing array must be zeroed: already-served samples must
+	// not stay reachable through the pool.
+	for i, s := range a[:cap(a)] {
+		if s != (Sample{}) {
+			t.Fatalf("pooled slot %d not zeroed: %+v", i, s)
+		}
+	}
+	b := p.Get(8)
+	if &b[0] != backing {
+		t.Fatal("Get did not recycle the returned backing array")
+	}
+	gets, hits := p.Stats()
+	if gets != 2 || hits != 1 {
+		t.Fatalf("stats = (%d gets, %d hits), want (2, 1)", gets, hits)
+	}
+}
+
+func TestBatchPoolGetExactLength(t *testing.T) {
+	p := NewBatchPool()
+	p.Put(make([]Sample, 16))
+	s := p.Get(5)
+	if len(s) != 5 {
+		t.Fatalf("len = %d, want 5", len(s))
+	}
+	if cap(s) < 16 {
+		t.Fatalf("cap = %d, want recycled 16", cap(s))
+	}
+}
+
+func TestBatchPoolTooSmallSlicesSkipped(t *testing.T) {
+	p := NewBatchPool()
+	p.Put(make([]Sample, 2))
+	s := p.Get(8)
+	if len(s) != 8 {
+		t.Fatalf("len = %d, want 8", len(s))
+	}
+	_, hits := p.Stats()
+	if hits != 0 {
+		t.Fatalf("hits = %d, want 0 (2-cap slice cannot serve an 8-slice Get)", hits)
+	}
+}
+
+func TestBatchPoolNilSafe(t *testing.T) {
+	var p *BatchPool
+	s := p.Get(4)
+	if len(s) != 4 {
+		t.Fatalf("nil pool Get len = %d, want 4", len(s))
+	}
+	p.Put(s) // must not panic
+	if g, h := p.Stats(); g != 0 || h != 0 {
+		t.Fatalf("nil pool stats = (%d, %d), want zeros", g, h)
+	}
+}
+
+func TestBatchPoolBounded(t *testing.T) {
+	p := NewBatchPool()
+	for i := 0; i < maxPooledPerClass+50; i++ {
+		p.Put(make([]Sample, 1))
+	}
+	if got := len(p.classes[0]); got != maxPooledPerClass {
+		t.Fatalf("class 0 free list %d, want capped at %d", got, maxPooledPerClass)
+	}
+	// Oversized slices bypass the pool entirely.
+	p.Put(make([]Sample, 1<<poolClasses))
+	for c, class := range p.classes {
+		for _, s := range class {
+			if cap(s) >= 1<<poolClasses {
+				t.Fatalf("oversized slice pooled in class %d", c)
+			}
+		}
+	}
+}
+
+func TestBatchPoolSizeClasses(t *testing.T) {
+	p := NewBatchPool()
+	// A flood of tiny survivor slices must not prevent a larger Get from
+	// finding its match: classes keep them segregated.
+	for i := 0; i < maxPooledPerClass; i++ {
+		p.Put(make([]Sample, 2))
+	}
+	big := make([]Sample, 8)
+	p.Put(big)
+	s := p.Get(8)
+	if cap(s) < 8 {
+		t.Fatalf("cap = %d, want the recycled 8-cap array", cap(s))
+	}
+	_, hits := p.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1", hits)
+	}
+}
