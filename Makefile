@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race audit replan overhead bench plangate simgate
+.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate
 
-verify: build vet lint test race audit replan overhead plangate simgate
+verify: build vet lintgate test race audit replan overhead plangate simgate
 	@echo "verify: all checks passed"
 
 build:
@@ -18,10 +18,18 @@ vet:
 	$(GO) vet ./...
 
 # e3-lint enforces the simulator invariants (virtual time, seeded
-# randomness, epsilon-safe deadline math, ledger pairing, single-goroutine
-# event loop). See README "Static invariants".
+# randomness, epsilon-safe deadline math, ledger pairing, determinism
+# taint, hot-path allocation, error propagation, single-goroutine event
+# loop). See README "Static invariants".
 lint:
 	$(GO) run ./cmd/e3-lint ./...
+
+# Baseline-gated lint: fails on any finding not in lint.baseline.json
+# (exit 1) and on any stale baseline entry whose violation was fixed
+# (exit 3); exit 2 means the tree failed to load. This is the verify/CI
+# entry point — `make lint` is the raw, baseline-free view.
+lintgate:
+	$(GO) run ./cmd/e3-lint -json -baseline lint.baseline.json ./... > /dev/null
 
 test:
 	$(GO) test ./...

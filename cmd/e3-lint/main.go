@@ -1,14 +1,32 @@
 // Command e3-lint runs the internal/analysis suite — the static checkers
 // that enforce the simulator's virtual-time, determinism, conservation,
-// and single-goroutine invariants — over the repository's packages.
+// hot-path allocation, error-propagation, and single-goroutine
+// invariants — over the repository's packages.
 //
 // Usage:
 //
-//	e3-lint [-list] [packages]
+//	e3-lint [-list] [-json] [-baseline file] [packages]
 //
-// Packages default to ./... relative to the enclosing module. The exit
-// status is 0 when the tree is clean, 1 when any analyzer reports a
-// diagnostic, and 2 on a load or usage error, mirroring go vet.
+// Packages default to ./... relative to the enclosing module. With
+// -json, findings are emitted as a single JSON document on stdout
+// ({"version":1,"findings":[{rule,path,line,col,message}...]}) with
+// paths relative to the module root; otherwise one go-vet-style line
+// per finding.
+//
+// With -baseline, findings are matched against the checked-in baseline
+// file (same JSON schema, with optional per-entry justifications) by
+// (rule, path, message) — line numbers are ignored so unrelated edits
+// cannot break the gate. Only non-baselined ("fresh") findings fail the
+// run, and baseline entries matching no current finding ("stale") fail
+// it too, so the baseline can only shrink without a deliberate edit.
+//
+// Exit status:
+//
+//	0  clean (no findings, or every finding baselined and no stale entries)
+//	1  fresh findings (violations not covered by the baseline)
+//	2  load or usage error (bad flags, unresolvable packages, type errors)
+//	3  stale baseline entries only (fixed violations still excused — trim
+//	   the baseline; when fresh findings are also present, 1 wins)
 package main
 
 import (
@@ -22,8 +40,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON document on stdout")
+	baselinePath := flag.String("baseline", "", "baseline `file` of triaged findings; fresh findings and stale entries fail the run")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: e3-lint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: e3-lint [-list] [-json] [-baseline file] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the e3 invariant analyzers (default packages: ./...).\n")
 		flag.PrintDefaults()
 	}
@@ -32,7 +52,7 @@ func main() {
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -50,13 +70,45 @@ func main() {
 		fatal(err)
 	}
 	diags := analysis.RunAnalyzers(pkgs, analyzers)
-	for _, d := range diags {
-		d.Pos.Filename = relPath(wd, d.Pos.Filename)
-		fmt.Println(d)
+	findings := analysis.ToFindings(diags, loader.Root())
+
+	var fresh, stale []analysis.Finding
+	fresh = findings
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		fresh, stale = base.Diff(findings)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "e3-lint: %d invariant violation(s)\n", len(diags))
+
+	if *jsonOut {
+		data, err := analysis.MarshalReport(findings)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relPath(wd, d.Pos.Filename)
+			fmt.Println(d)
+		}
+	}
+
+	for _, f := range stale {
+		fmt.Fprintf(os.Stderr, "e3-lint: stale baseline entry: %s %s: %s\n", f.Rule, f.Path, f.Message)
+	}
+	switch {
+	case len(fresh) > 0:
+		fmt.Fprintf(os.Stderr, "e3-lint: %d invariant violation(s)", len(fresh))
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, " not in baseline %s", *baselinePath)
+		}
+		fmt.Fprintln(os.Stderr)
 		os.Exit(1)
+	case len(stale) > 0:
+		fmt.Fprintf(os.Stderr, "e3-lint: %d stale baseline entr(y/ies) in %s — the excused violations are gone, delete them\n", len(stale), *baselinePath)
+		os.Exit(3)
 	}
 }
 

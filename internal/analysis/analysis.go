@@ -1,9 +1,11 @@
 // Package analysis is e3-lint: a suite of static analyzers that
 // mechanically enforce the simulator's unwritten invariants — virtual time
 // only, seeded randomness, epsilon-safe deadline math, ledger-paired
-// terminal accounting, and single-goroutine event-loop discipline. Every
-// bug PR 1's lifecycle ledger flushed out at runtime was a violation of
-// one of these rules; the analyzers turn them into build-time errors.
+// terminal accounting, single-goroutine event-loop discipline, and (since
+// v2) the interprocedural forms of those rules: determinism taint flow,
+// hot-path allocation freedom, and error propagation along call chains.
+// Every bug PR 1's lifecycle ledger flushed out at runtime was a violation
+// of one of these rules; the analyzers turn them into build-time errors.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis API
 // (Analyzer, Pass, Diagnostic) but is built on the standard library's
@@ -12,20 +14,29 @@
 // and through the analysistest-style harness in this package's tests,
 // rather than via go vet -vettool.
 //
+// v2 architecture: RunAnalyzers computes one module-wide facts layer
+// (facts.go — call graph, wall-clock/rand/concurrency/allocation facts
+// per function) and one shared directive index (directives.go), then runs
+// two kinds of analyzers against them. Per-package analyzers (Run field)
+// see one package at a time through a Pass; module analyzers (RunModule
+// field) see the whole fact base through a ModulePass and follow call
+// edges across package boundaries. The directives meta-analyzer always
+// runs last so it can see which escape hatches the rest of the suite
+// actually consulted.
+//
 // # Escape hatches
 //
 // Each analyzer honours a directive comment that exempts one line (or,
-// for ledgerpair, one function). Directives take the form
+// for function-scoped rules, one function). Directives take the form
 //
 //	//e3:<name> <reason>
 //
 // placed on the flagged line, the line immediately above it, or — for
 // function-scoped directives — in the function's doc comment. The
-// recognised names are wallclock (virtualtime), exactfloat
-// (floatdeadline), unseeded (seededrand), noledger (ledgerpair, reason
-// required) and concurrent (eventloop). Reasons are free text but should
-// say why the invariant does not apply, since the directive is the only
-// record reviewers get.
+// recognised vocabulary is KnownDirectives in directives.go; unknown
+// names and stale suppressions are themselves diagnostics. Reasons are
+// free text but should say why the invariant does not apply, since the
+// directive is the only record reviewers get.
 package analysis
 
 import (
@@ -34,7 +45,6 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
-	"strings"
 )
 
 // Diagnostic is one analyzer finding.
@@ -50,7 +60,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one invariant checker.
+// Analyzer is one invariant checker. Exactly one of Run and RunModule is
+// set: Run sees one package at a time (scoped by Applies), RunModule sees
+// the whole loaded module through the shared facts layer and does its own
+// scoping (interprocedural rules care where a call chain *starts*, not
+// which package a diagnostic lands in).
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and -list output.
 	Name string
@@ -59,67 +73,48 @@ type Analyzer struct {
 	Doc string
 	// Applies reports whether the analyzer inspects the package with the
 	// given import path. Analyzers are scoped because the invariants are
-	// domain rules (wall-clock time is fine in cmd/, not in sim/).
+	// domain rules (wall-clock time is fine in cmd/, not in sim/). Nil or
+	// unset for module analyzers.
 	Applies func(importPath string) bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module's fact base.
+	RunModule func(*ModulePass)
 }
 
-// Pass carries one analyzed package to an analyzer, mirroring
-// x/tools/go/analysis.Pass.
+// Pass carries one analyzed package to a per-package analyzer, mirroring
+// x/tools/go/analysis.Pass. Directive lookups delegate to the run-wide
+// shared index so the directives meta-analyzer can detect stale
+// suppressions across the whole suite.
 type Pass struct {
-	Analyzer *Analyzer
-	Fset     *token.FileSet
-	Files    []*ast.File
-	Pkg      *types.Package
-	Info     *types.Info
+	Analyzer   *Analyzer
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// Facts is the shared module-wide fact base (nil only in tests that
+	// construct a Pass by hand).
+	Facts *Facts
 
-	directives map[string][]directive // filename -> line-sorted directives
-	report     func(Diagnostic)
+	dirs   *Directives
+	report func(Diagnostic)
 }
 
-// directive is one parsed //e3:<name> <reason> comment.
-type directive struct {
-	line   int
-	name   string
-	reason string
-}
-
-const directivePrefix = "e3:"
-
-// newPass builds a pass over pkg for a, indexing escape-hatch directives.
-func newPass(a *Analyzer, pkg *Package, report func(Diagnostic)) *Pass {
-	p := &Pass{
+// newPass builds a pass over pkg for a, sharing the run-wide directive
+// index.
+func newPass(a *Analyzer, pkg *Package, facts *Facts, report func(Diagnostic)) *Pass {
+	return &Pass{
 		Analyzer:   a,
+		ImportPath: pkg.ImportPath,
 		Fset:       pkg.Fset,
 		Files:      pkg.Files,
 		Pkg:        pkg.Types,
 		Info:       pkg.Info,
-		directives: make(map[string][]directive),
+		Facts:      facts,
+		dirs:       facts.Dirs,
 		report:     report,
 	}
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				if !strings.HasPrefix(text, directivePrefix) {
-					continue
-				}
-				body := strings.TrimPrefix(text, directivePrefix)
-				name, reason, _ := strings.Cut(body, " ")
-				pos := p.Fset.Position(c.Pos())
-				p.directives[pos.Filename] = append(p.directives[pos.Filename], directive{
-					line:   pos.Line,
-					name:   name,
-					reason: strings.TrimSpace(reason),
-				})
-			}
-		}
-	}
-	for _, ds := range p.directives {
-		sort.Slice(ds, func(i, j int) bool { return ds[i].line < ds[j].line })
-	}
-	return p
 }
 
 // Reportf records a diagnostic at pos.
@@ -131,26 +126,11 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// directiveAt returns the directive with the given name on exactly the
-// given file line, if any.
-func (p *Pass) directiveAt(filename string, line int, name string) (directive, bool) {
-	for _, d := range p.directives[filename] {
-		if d.line == line && d.name == name {
-			return d, true
-		}
-	}
-	return directive{}, false
-}
-
 // Exempted reports whether the node at pos carries the named directive on
-// its own line or on the line immediately above (a leading comment).
+// its own line or on the line immediately above (a leading comment),
+// marking the directive used for stale-suppression accounting.
 func (p *Pass) Exempted(pos token.Pos, name string) bool {
-	position := p.Fset.Position(pos)
-	if _, ok := p.directiveAt(position.Filename, position.Line, name); ok {
-		return true
-	}
-	_, ok := p.directiveAt(position.Filename, position.Line-1, name)
-	return ok
+	return p.dirs.exemptedAt(p.Fset, pos, name)
 }
 
 // FuncDirective looks for the named directive attached to a function
@@ -158,19 +138,54 @@ func (p *Pass) Exempted(pos token.Pos, name string) bool {
 // returns the directive's reason and whether it was found.
 func (p *Pass) FuncDirective(fn *ast.FuncDecl, name string) (reason string, ok bool) {
 	declPos := p.Fset.Position(fn.Pos())
-	if d, found := p.directiveAt(declPos.Filename, declPos.Line, name); found {
-		return d.reason, true
-	}
+	docStart := declPos.Line
 	if fn.Doc != nil {
-		start := p.Fset.Position(fn.Doc.Pos()).Line
-		end := p.Fset.Position(fn.Doc.End()).Line
-		for _, d := range p.directives[declPos.Filename] {
-			if d.line >= start && d.line <= end && d.name == name {
-				return d.reason, true
-			}
-		}
+		docStart = p.Fset.Position(fn.Doc.Pos()).Line
 	}
-	return "", false
+	return p.dirs.funcDirective(declPos.Filename, docStart, declPos.Line, name)
+}
+
+// ModulePass carries the whole module's fact base to a module analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Facts    *Facts
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Facts.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// reportAt records a diagnostic at a directive's own position.
+func (p *ModulePass) reportAt(d *Directive, message string) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      token.Position{Filename: d.File, Line: d.Line, Column: d.Col},
+		Message:  message,
+	})
+}
+
+// Exempted reports whether the node at pos carries the named directive on
+// its own line or the line above, marking the directive used.
+func (p *ModulePass) Exempted(pos token.Pos, name string) bool {
+	return p.Facts.Dirs.exemptedAt(p.Facts.Fset, pos, name)
+}
+
+// FuncDirective looks for the named directive attached to a function
+// declaration (doc comment or declaration line), marking it used.
+func (p *ModulePass) FuncDirective(ff *FuncFacts, name string) (reason string, ok bool) {
+	declPos := p.Facts.Fset.Position(ff.Decl.Pos())
+	docStart := declPos.Line
+	if ff.Decl.Doc != nil {
+		docStart = p.Facts.Fset.Position(ff.Decl.Doc.Pos()).Line
+	}
+	return p.Facts.Dirs.funcDirective(declPos.Filename, docStart, declPos.Line, name)
 }
 
 // PkgFuncCall reports whether call is a direct selector call of a
@@ -182,15 +197,11 @@ func (p *Pass) PkgFuncCall(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
 	if !isSel {
 		return "", "", false
 	}
-	ident, isIdent := sel.X.(*ast.Ident)
-	if !isIdent {
-		return "", "", false
-	}
-	pn, isPkg := p.Info.Uses[ident].(*types.PkgName)
+	pp, isPkg := pkgPathOf(p.Info, sel.X)
 	if !isPkg {
 		return "", "", false
 	}
-	return pn.Imported().Path(), sel.Sel.Name, true
+	return pp, sel.Sel.Name, true
 }
 
 // MethodCall resolves a selector call to its method object, returning the
@@ -202,6 +213,19 @@ func (p *Pass) MethodCall(call *ast.CallExpr) (pkgPath, recvType, method string,
 	}
 	obj, isFn := p.Info.Uses[sel.Sel].(*types.Func)
 	if !isFn || obj.Pkg() == nil {
+		return "", "", "", false
+	}
+	pkgPath, recvType, method, isMethod := methodTriple(obj)
+	if !isMethod {
+		return "", "", "", false
+	}
+	return pkgPath, recvType, method, true
+}
+
+// methodTriple decomposes a method object into (defining package path,
+// receiver named type, method name).
+func methodTriple(obj *types.Func) (pkgPath, recvType, method string, ok bool) {
+	if obj.Pkg() == nil {
 		return "", "", "", false
 	}
 	sig, isSig := obj.Type().(*types.Signature)
@@ -239,7 +263,9 @@ func scope(paths ...string) func(string) bool {
 	return func(importPath string) bool { return set[importPath] }
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the five v1
+// per-package analyzers, the four v2 interprocedural analyzers, and the
+// directives meta-analyzer (which RunAnalyzers always sequences last).
 func All() []*Analyzer {
 	return []*Analyzer{
 		VirtualTime,
@@ -247,20 +273,47 @@ func All() []*Analyzer {
 		SeededRand,
 		LedgerPair,
 		EventLoop,
+		DetFlow,
+		HotAlloc,
+		ErrFlow,
+		EventLoopInterproc,
+		DirectiveCheck,
 	}
 }
 
-// RunAnalyzers applies every analyzer whose scope matches to each package
-// and returns the findings sorted by position.
+// RunAnalyzers computes the shared fact base once, applies every
+// per-package analyzer whose scope matches to each package and every
+// module analyzer to the whole set, and returns the findings sorted by
+// position. The directives meta-analyzer (if present) runs after
+// everything else regardless of its position in analyzers, because stale
+// detection needs the rest of the suite's used-marks.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	collect := func(d Diagnostic) { diags = append(diags, d) }
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if a.Applies != nil && !a.Applies(pkg.ImportPath) {
-				continue
+	facts := ComputeFacts(pkgs)
+
+	ordered := make([]*Analyzer, 0, len(analyzers))
+	var metaLast []*Analyzer
+	for _, a := range analyzers {
+		if a.Name == DirectiveCheck.Name {
+			metaLast = append(metaLast, a)
+			continue
+		}
+		ordered = append(ordered, a)
+	}
+	ordered = append(ordered, metaLast...)
+
+	for _, a := range ordered {
+		switch {
+		case a.Run != nil:
+			for _, pkg := range pkgs {
+				if a.Applies != nil && !a.Applies(pkg.ImportPath) {
+					continue
+				}
+				a.Run(newPass(a, pkg, facts, collect))
 			}
-			a.Run(newPass(a, pkg, collect))
+		case a.RunModule != nil:
+			a.RunModule(&ModulePass{Analyzer: a, Facts: facts, report: collect})
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

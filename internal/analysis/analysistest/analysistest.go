@@ -41,6 +41,18 @@ type expectation struct {
 // applies the analyzer, and checks diagnostics against // want comments.
 func Run(t *testing.T, root string, a *analysis.Analyzer, importPaths ...string) {
 	t.Helper()
+	RunSuite(t, root, []*analysis.Analyzer{a}, importPaths...)
+}
+
+// RunSuite runs several analyzers together over one fixture tree, pooling
+// their diagnostics against the tree's want comments. Module-scoped
+// analyzers (nil Applies) see every fixture package through the shared
+// fact base — cross-package fixtures must therefore list *all* their
+// packages, helpers included, or call edges into the missing ones
+// dangle. Each package-scoped analyzer must cover at least one fixture
+// package, or its part of the test would pass vacuously.
+func RunSuite(t *testing.T, root string, analyzers []*analysis.Analyzer, importPaths ...string) {
+	t.Helper()
 	loader := analysis.NewTreeLoader(root)
 	var pkgs []*analysis.Package
 	for _, path := range importPaths {
@@ -48,10 +60,22 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, importPaths ...string)
 		if err != nil {
 			t.Fatalf("loading fixture %s: %v", path, err)
 		}
-		if a.Applies != nil && !a.Applies(pkg.ImportPath) {
-			t.Fatalf("fixture %s is outside analyzer %s's scope; the test would pass vacuously", path, a.Name)
-		}
 		pkgs = append(pkgs, pkg)
+	}
+	for _, a := range analyzers {
+		if a.Applies == nil {
+			continue
+		}
+		covered := false
+		for _, pkg := range pkgs {
+			if a.Applies(pkg.ImportPath) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("no fixture package is inside analyzer %s's scope; the test would pass vacuously", a.Name)
+		}
 	}
 
 	var wants []*expectation
@@ -65,7 +89,7 @@ func Run(t *testing.T, root string, a *analysis.Analyzer, importPaths ...string)
 		}
 	}
 
-	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	diags := analysis.RunAnalyzers(pkgs, analyzers)
 	for _, d := range diags {
 		if !claim(wants, d) {
 			t.Errorf("unexpected diagnostic: %s", d)
@@ -96,6 +120,14 @@ func parseWants(pkg *analysis.Package, f *ast.File) ([]*expectation, error) {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
 			rest, ok := strings.CutPrefix(text, "want ")
+			if !ok {
+				// A want may trail another in-comment annotation on the same
+				// line (an //e3:* directive that is itself the expected
+				// diagnostic's subject): `//e3:bad name // want "..."`.
+				if i := strings.Index(text, "// want "); i >= 0 {
+					rest, ok = text[i+len("// want "):], true
+				}
+			}
 			if !ok {
 				continue
 			}

@@ -32,6 +32,40 @@ func TestEventLoop(t *testing.T) {
 	analysistest.Run(t, "testdata/src/eventloop", analysis.EventLoop, "e3/internal/scheduler")
 }
 
+// The interprocedural analyzers get cross-package fixtures: every
+// violation below is reachable only through at least two call edges, so
+// a regression to per-package (or per-function) reasoning unmatches the
+// want comments.
+
+func TestDetFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/detflow", analysis.DetFlow,
+		"e3/internal/sim", "e3/internal/jitter", "e3/internal/scheduler")
+}
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/hotalloc", analysis.HotAlloc,
+		"e3/internal/util", "e3/internal/sim")
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errflow", analysis.ErrFlow,
+		"e3/internal/sim", "e3/internal/serving", "e3/internal/experiments")
+}
+
+func TestEventLoopInterproc(t *testing.T) {
+	analysistest.Run(t, "testdata/src/eventloopx", analysis.EventLoopInterproc,
+		"e3/internal/bg", "e3/internal/scheduler")
+}
+
+// TestDirectiveCheck runs the meta-analyzer together with virtualtime so
+// the consumed suppression in the fixture is marked used and only the
+// unknown and stale directives are reported.
+func TestDirectiveCheck(t *testing.T) {
+	analysistest.RunSuite(t, "testdata/src/directives",
+		[]*analysis.Analyzer{analysis.VirtualTime, analysis.DirectiveCheck},
+		"e3/internal/sim")
+}
+
 // TestScoping pins the intent of each analyzer's package scope: the
 // simulation domain is covered, the wall-clock edges (cmd/, examples/)
 // are not.

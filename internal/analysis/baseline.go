@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The baseline workflow: a checked-in JSON file (same schema as the -json
+// report, plus per-entry justifications) lists the triaged legacy
+// findings the team has explicitly decided to carry. The lint gate then
+// enforces two directions at once — a finding not in the baseline fails
+// the build (new violation), and a baseline entry matching no finding
+// fails it too (the violation was fixed; the entry is a stale excuse that
+// must be deleted). The baseline can only shrink without a deliberate,
+// reviewable edit.
+
+// Baseline is a parsed baseline file.
+type Baseline struct {
+	Findings []Finding
+}
+
+// LoadBaseline reads and parses a baseline file. A missing file is an
+// error: the gate's contract is explicit, so create an empty baseline
+// ({"version":1,"findings":[]}) rather than omitting the flag.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return &Baseline{Findings: rep.Findings}, nil
+}
+
+// Diff matches findings against the baseline by (rule, path, message)
+// multiset and returns the fresh findings (present now, not baselined)
+// and the stale entries (baselined, no longer present). Lines are
+// ignored in matching so drift from unrelated edits does not break the
+// gate.
+func (b *Baseline) Diff(findings []Finding) (fresh, stale []Finding) {
+	remaining := make(map[string]int, len(b.Findings))
+	for _, f := range b.Findings {
+		remaining[f.key()]++
+	}
+	for _, f := range findings {
+		if remaining[f.key()] > 0 {
+			remaining[f.key()]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	for _, f := range b.Findings {
+		if remaining[f.key()] > 0 {
+			remaining[f.key()]--
+			stale = append(stale, f)
+		}
+	}
+	sortFindings(fresh)
+	sortFindings(stale)
+	return fresh, stale
+}

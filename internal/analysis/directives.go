@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// This file is the one shared implementation of the //e3:<name> <reason>
+// escape-hatch vocabulary. Before the facts-layer rework every analyzer
+// re-parsed directive comments on its own; now parsing, indexing, lookup,
+// and bookkeeping live here, and the suite gains two meta-checks for free:
+// unknown directive names (a typo like e3:wallclok silently disables
+// nothing — it must be an error) and stale suppressions (a directive whose
+// line no longer triggers any analyzer is a leftover lie about the code
+// and must be deleted).
+
+// KnownDirectives maps every recognised directive name to the analyzer
+// that honours it. The vocabulary is the suite's public surface: README
+// "Static invariants" documents it, and DirectiveCheck rejects anything
+// outside it.
+var KnownDirectives = map[string]string{
+	"wallclock":  "virtualtime",
+	"exactfloat": "floatdeadline",
+	"unseeded":   "seededrand",
+	"noledger":   "ledgerpair",
+	"concurrent": "eventloop, eventloop-interproc",
+	"unordered":  "detflow",
+	"detflow":    "detflow",
+	"hotpath":    "hotalloc (marks a function as an allocation-free fast path)",
+	"alloc":      "hotalloc",
+	"discard":    "errflow",
+}
+
+// Directive is one parsed //e3:<name> <reason> comment.
+type Directive struct {
+	File   string
+	Line   int
+	Col    int
+	Name   string
+	Reason string
+
+	// used records that some analyzer consulted this directive while
+	// deciding a real (would-be) diagnostic — the negation of staleness.
+	used bool
+}
+
+// Directives indexes every //e3:* comment across a set of loaded packages.
+// One instance is shared by every analyzer in a run (via Pass and
+// ModulePass), so the used-marks accumulate across the whole suite and
+// stale detection can run once at the end.
+type Directives struct {
+	byFile map[string][]*Directive
+	all    []*Directive
+}
+
+const directivePrefix = "e3:"
+
+// ParseDirectives scans the comments of every file in pkgs.
+func ParseDirectives(pkgs []*Package) *Directives {
+	ds := &Directives{byFile: make(map[string][]*Directive)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, directivePrefix) {
+						continue
+					}
+					body := strings.TrimPrefix(text, directivePrefix)
+					name, reason, _ := strings.Cut(body, " ")
+					pos := pkg.Fset.Position(c.Pos())
+					d := &Directive{
+						File:   pos.Filename,
+						Line:   pos.Line,
+						Col:    pos.Column,
+						Name:   name,
+						Reason: strings.TrimSpace(reason),
+					}
+					ds.byFile[pos.Filename] = append(ds.byFile[pos.Filename], d)
+					ds.all = append(ds.all, d)
+				}
+			}
+		}
+	}
+	for _, list := range ds.byFile {
+		sort.Slice(list, func(i, j int) bool { return list[i].Line < list[j].Line })
+	}
+	return ds
+}
+
+// at returns the directive with the given name on exactly the given file
+// line, if any. It does not mark the directive used — callers that are
+// answering "is this finding suppressed?" go through exemptedAt /
+// funcDirective, which do.
+func (ds *Directives) at(file string, line int, name string) (*Directive, bool) {
+	for _, d := range ds.byFile[file] {
+		if d.Line == line && d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// exemptedAt reports whether the position carries the named directive on
+// its own line or the line immediately above, marking it used.
+func (ds *Directives) exemptedAt(fset *token.FileSet, pos token.Pos, name string) bool {
+	position := fset.Position(pos)
+	if d, ok := ds.at(position.Filename, position.Line, name); ok {
+		d.used = true
+		return true
+	}
+	if d, ok := ds.at(position.Filename, position.Line-1, name); ok {
+		d.used = true
+		return true
+	}
+	return false
+}
+
+// funcDirective looks for the named directive attached to a function
+// declaration spanning docStart..declLine (its doc comment or the
+// declaration line itself), marking it used.
+func (ds *Directives) funcDirective(file string, docStart, declLine int, name string) (reason string, ok bool) {
+	for _, d := range ds.byFile[file] {
+		if d.Name == name && d.Line >= docStart && d.Line <= declLine {
+			d.used = true
+			return d.Reason, true
+		}
+	}
+	return "", false
+}
+
+// Unknown returns every directive whose name is outside the recognised
+// vocabulary, in deterministic (file, line) order.
+func (ds *Directives) Unknown() []*Directive {
+	var out []*Directive
+	for _, d := range ds.all {
+		if _, known := KnownDirectives[d.Name]; !known {
+			out = append(out, d)
+		}
+	}
+	sortDirectives(out)
+	return out
+}
+
+// Stale returns every known-name directive that no analyzer consulted
+// while suppressing (or deciding) a diagnostic — suppressions whose
+// violation no longer exists. Only meaningful after the full suite ran.
+func (ds *Directives) Stale() []*Directive {
+	var out []*Directive
+	for _, d := range ds.all {
+		if _, known := KnownDirectives[d.Name]; known && !d.used {
+			out = append(out, d)
+		}
+	}
+	sortDirectives(out)
+	return out
+}
+
+func sortDirectives(list []*Directive) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].File != list[j].File {
+			return list[i].File < list[j].File
+		}
+		return list[i].Line < list[j].Line
+	})
+}
+
+// knownNames renders the vocabulary for error messages, sorted.
+func knownNames() string {
+	names := make([]string, 0, len(KnownDirectives))
+	for name := range KnownDirectives {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+// DirectiveCheck is the meta-analyzer over the escape hatches themselves.
+// It must run after every other analyzer in the suite (RunAnalyzers
+// guarantees the ordering): an unknown //e3: name is always an error — the
+// author believed something was being suppressed and nothing was — and a
+// known directive that no analyzer consulted is a stale suppression whose
+// violation has since been fixed or refactored away, left behind to
+// mislead the next reader.
+//
+// Note the staleness verdict is relative to the analyzers that ran: when a
+// subset of the suite runs (analysistest fixtures), directives consumed
+// only by excluded analyzers will look stale. cmd/e3-lint and the
+// self-lint always run the full suite.
+var DirectiveCheck = &Analyzer{
+	Name: "directives",
+	Doc: "reject unknown //e3:* directive names and stale suppressions " +
+		"(directives that no longer match any diagnostic). No escape hatch: " +
+		"fix the name or delete the directive.",
+	RunModule: runDirectiveCheck,
+}
+
+func runDirectiveCheck(pass *ModulePass) {
+	ds := pass.Facts.Dirs
+	for _, d := range ds.Unknown() {
+		pass.reportAt(d, fmt.Sprintf("unknown directive //e3:%s — known names: %s", d.Name, knownNames()))
+	}
+	for _, d := range ds.Stale() {
+		pass.reportAt(d, fmt.Sprintf("stale suppression: //e3:%s matches no diagnostic on this line; the violation it excused is gone — delete the directive", d.Name))
+	}
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadDirectiveSrc writes src as a one-package tree and parses its
+// directives, returning the package for position lookups.
+func loadDirectiveSrc(t *testing.T, src string) (*Package, *Directives) {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, "p")
+	if err := os.Mkdir(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewTreeLoader(root).Load("p")
+	if err != nil {
+		t.Fatalf("loading directive fixture: %v", err)
+	}
+	return pkg, ParseDirectives([]*Package{pkg})
+}
+
+func TestParseDirectives(t *testing.T) {
+	_, ds := loadDirectiveSrc(t, `package p
+
+//e3:wallclock calibration only
+func A() int { return 1 }
+
+func B() int {
+	//e3:frobnicate not a vocabulary word
+	x := 1 //e3:unordered   padded reason
+	return x
+}
+`)
+	want := []struct {
+		line   int
+		name   string
+		reason string
+	}{
+		{3, "wallclock", "calibration only"},
+		{7, "frobnicate", "not a vocabulary word"},
+		{8, "unordered", "padded reason"},
+	}
+	if len(ds.all) != len(want) {
+		t.Fatalf("parsed %d directives, want %d", len(ds.all), len(want))
+	}
+	for i, w := range want {
+		d := ds.all[i]
+		if d.Line != w.line || d.Name != w.name || d.Reason != w.reason {
+			t.Errorf("directive %d = {line %d, name %q, reason %q}, want {%d, %q, %q}",
+				i, d.Line, d.Name, d.Reason, w.line, w.name, w.reason)
+		}
+	}
+}
+
+func TestDirectivesUnknownAndStale(t *testing.T) {
+	pkg, ds := loadDirectiveSrc(t, `package p
+
+//e3:wallclock on the declaration
+func A() int { return 1 }
+
+func B() int {
+	x := 1 //e3:wallclok typo
+	return x //e3:unordered never consulted
+}
+`)
+	unknown := ds.Unknown()
+	if len(unknown) != 1 || unknown[0].Name != "wallclok" {
+		t.Fatalf("Unknown() = %v, want exactly the wallclok typo", unknown)
+	}
+	// Nothing consulted yet: both known-name directives are stale, the
+	// unknown one is not double-reported as stale.
+	if stale := ds.Stale(); len(stale) != 2 {
+		t.Fatalf("Stale() before any marking = %d entries, want 2", len(stale))
+	}
+
+	// funcDirective consumes the declaration-attached directive.
+	decl := pkg.Files[0].Decls[0]
+	pos := pkg.Fset.Position(decl.Pos())
+	if reason, ok := ds.funcDirective(pos.Filename, pos.Line-1, pos.Line, "wallclock"); !ok || reason != "on the declaration" {
+		t.Fatalf("funcDirective = (%q, %v), want the A() directive", reason, ok)
+	}
+	stale := ds.Stale()
+	if len(stale) != 1 || stale[0].Name != "unordered" {
+		t.Fatalf("Stale() after funcDirective = %v, want only the unconsulted unordered", stale)
+	}
+
+	// exemptedAt consumes a same-line (or line-above) directive.
+	retLine := stale[0].Line
+	file := pkg.Fset.File(decl.Pos())
+	if !ds.exemptedAt(pkg.Fset, file.LineStart(retLine), "unordered") {
+		t.Fatal("exemptedAt missed the same-line directive")
+	}
+	if len(ds.Stale()) != 0 {
+		t.Fatalf("Stale() after consuming everything = %v, want none", ds.Stale())
+	}
+	// Consuming never erases the unknown-name finding.
+	if len(ds.Unknown()) != 1 {
+		t.Fatal("Unknown() changed after marking; it must not")
+	}
+}

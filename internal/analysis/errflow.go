@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrFlow makes PR 6's one-off error-propagation audit permanent. The
+// engine's Run/RunAll return an abort error (event-limit hit, with the
+// pending-event count that explains how much work was lost), and the
+// batcher/runner Flush family reports end-of-run losses; swallowing any
+// of them turns a truncated simulation into a silently "successful" one
+// — the exact bug class PR 6 hand-audited across straggler/fig16/fig18/
+// extensions/multitenant call sites. errflow finds every call whose
+// error result is structurally discarded: an expression statement, a
+// blank-identifier assignment, or a go/defer statement.
+//
+// The family is seeded by name and home: error-returning functions named
+// Run, RunAll, or Flush* declared in the event-loop packages
+// (sim/serving/scheduler/replan). It then closes over wrappers: an
+// error-returning function that calls a family member joins the family,
+// so dropping serving.RunOpenLoop's error two packages up is caught even
+// though RunOpenLoop itself is not named in the seed. Escape hatch:
+// //e3:discard <reason> on the discarding line.
+var ErrFlow = &Analyzer{
+	Name: "errflow",
+	Doc: "errors returned by Run/RunAll/Flush-family functions (and their " +
+		"wrappers) must propagate; expression-statement calls, blank " +
+		"assignments, and go/defer discards are flagged. Escape hatch: " +
+		"//e3:discard <reason>.",
+	RunModule: runErrFlow,
+}
+
+// errFlowSeedPkgs are the packages whose Run/RunAll/Flush* functions seed
+// the family.
+var errFlowSeedPkgs = map[string]bool{
+	"e3/internal/sim":       true,
+	"e3/internal/serving":   true,
+	"e3/internal/scheduler": true,
+	"e3/internal/replan":    true,
+}
+
+func isErrFlowSeedName(name string) bool {
+	return name == "Run" || name == "RunAll" || strings.HasPrefix(name, "Flush")
+}
+
+// errorResults returns the indexes of a signature's error-typed results.
+func errorResults(sig *types.Signature) []int {
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if named, ok := t.(*types.Named); ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// isErrFlowSeed recognizes a seed member on the *types.Func alone, so a
+// call into a seed package resolves even when that package is outside
+// the analyzed set (linting a subset still loads dependencies' types,
+// just not their facts).
+func isErrFlowSeed(fn *types.Func) bool {
+	if fn.Pkg() == nil || !errFlowSeedPkgs[fn.Pkg().Path()] || !isErrFlowSeedName(fn.Name()) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && len(errorResults(sig)) > 0
+}
+
+func runErrFlow(pass *ModulePass) {
+	// Seed the family, then close over wrappers to a fixpoint: an
+	// error-returning function calling a family member must itself be
+	// handled by its callers.
+	wrappers := make(map[*types.Func]bool)
+	inFamily := func(fn *types.Func) bool {
+		return wrappers[fn] || isErrFlowSeed(fn)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range pass.Facts.Order {
+			if inFamily(ff.Obj) {
+				continue
+			}
+			sig, ok := ff.Obj.Type().(*types.Signature)
+			if !ok || len(errorResults(sig)) == 0 {
+				continue
+			}
+			for _, cs := range ff.Calls {
+				if !cs.Ref && inFamily(cs.Callee) {
+					wrappers[ff.Obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// Flag structurally-discarded calls of family members, everywhere in
+	// the module (a cmd/ main dropping the abort error hides a truncated
+	// run just as effectively as a scheduler doing it).
+	for _, ff := range pass.Facts.Order {
+		checkErrFlowFunc(pass, ff, inFamily)
+	}
+}
+
+func checkErrFlowFunc(pass *ModulePass, ff *FuncFacts, inFamily func(*types.Func) bool) {
+	info := ff.Pkg.Info
+
+	familyCall := func(e ast.Expr) (*types.Func, bool) {
+		call, ok := unparen(e).(*ast.CallExpr)
+		if !ok {
+			return nil, false
+		}
+		callee := funcOf(info, call.Fun)
+		if callee == nil || !inFamily(callee) {
+			return nil, false
+		}
+		return callee, true
+	}
+	report := func(pos ast.Node, callee *types.Func, how string) {
+		if pass.Exempted(pos.Pos(), "discard") {
+			return
+		}
+		pass.Reportf(pos.Pos(),
+			"error returned by %s is discarded (%s); a swallowed abort turns a truncated run into a silently successful one — propagate it or annotate //e3:discard <reason>",
+			callee.Name(), how)
+	}
+
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if callee, ok := familyCall(n.X); ok {
+				report(n, callee, "call used as a statement")
+			}
+		case *ast.GoStmt:
+			if callee, ok := familyCall(n.Call); ok {
+				report(n, callee, "go statement drops the result")
+			}
+		case *ast.DeferStmt:
+			if callee, ok := familyCall(n.Call); ok {
+				report(n, callee, "defer drops the result")
+			}
+		case *ast.AssignStmt:
+			// Tuple form: v, _ := f() — the blank in the error position.
+			if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+				if callee, ok := familyCall(n.Rhs[0]); ok {
+					sig := callee.Type().(*types.Signature)
+					for _, ei := range errorResults(sig) {
+						if ei < len(n.Lhs) && isBlank(n.Lhs[ei]) {
+							report(n, callee, "error position assigned to _")
+						}
+					}
+				}
+				return true
+			}
+			// 1:1 form: _ = f().
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if callee, ok := familyCall(rhs); ok && isBlank(n.Lhs[i]) {
+					report(n, callee, "assigned to _")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

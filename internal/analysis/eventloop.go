@@ -3,7 +3,6 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 )
 
 // syncPrimitives are the sync types whose presence implies shared-memory
@@ -27,51 +26,59 @@ var syncPrimitives = map[string]bool{
 // operations, select, and sync primitives. The REST front end is the one
 // legitimate concurrent edge (net/http runs handlers on its own
 // goroutines) and carries //e3:concurrent where it guards its counters.
+//
+// v2: function bodies are read from the shared facts layer; struct
+// fields, signatures, and package-level declarations still need a
+// residual walk. The interprocedural extension (eventloop-interproc)
+// follows call edges out of these packages.
 var EventLoop = &Analyzer{
 	Name: "eventloop",
 	Doc: "forbid goroutines, channels, select, and sync primitives inside " +
 		"event-loop-owned packages; all simulator state is single-goroutine " +
 		"by contract. Escape hatch: //e3:concurrent <reason>.",
-	Applies: scope(
-		"e3/internal/sim",
-		"e3/internal/scheduler",
-		"e3/internal/serving",
-		"e3/internal/telemetry",
-		"e3/internal/replan",
-	),
-	Run: runEventLoop,
+	Applies: scope(eventLoopScope...),
+	Run:     runEventLoop,
+}
+
+// eventLoopScope lists the event-loop-owned packages. It is shared with
+// eventloop-interproc, whose root set is exactly these packages.
+var eventLoopScope = []string{
+	"e3/internal/sim",
+	"e3/internal/scheduler",
+	"e3/internal/serving",
+	"e3/internal/telemetry",
+	"e3/internal/replan",
 }
 
 func runEventLoop(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.GoStmt:
-				reportEventLoop(pass, n.Pos(), "go statement starts a second goroutine")
-			case *ast.SendStmt:
-				reportEventLoop(pass, n.Pos(), "channel send")
-			case *ast.UnaryExpr:
-				if n.Op == token.ARROW {
-					reportEventLoop(pass, n.Pos(), "channel receive")
-				}
-			case *ast.SelectStmt:
-				reportEventLoop(pass, n.Pos(), "select statement")
-			case *ast.ChanType:
-				reportEventLoop(pass, n.Pos(), "channel type")
-			case *ast.RangeStmt:
-				if t := pass.Info.TypeOf(n.X); t != nil {
-					if _, isChan := t.Underlying().(*types.Chan); isChan {
-						reportEventLoop(pass, n.Pos(), "range over a channel")
-					}
-				}
-			case *ast.SelectorExpr:
-				if pn, ok := identPkg(pass, n.X); ok && pn == "sync" && syncPrimitives[n.Sel.Name] {
-					reportEventLoop(pass, n.Pos(), "sync."+n.Sel.Name)
-				}
-			}
-			return true
-		})
+	for _, ff := range pass.Facts.ByPackage(pass.ImportPath) {
+		for _, use := range ff.Concurrency {
+			reportEventLoop(pass, use.Pos, eventLoopPhrase(use.What))
+		}
 	}
+	inspectOutsideBodies(pass.Files, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ChanType:
+			reportEventLoop(pass, n.Pos(), "channel type")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				reportEventLoop(pass, n.Pos(), "channel receive")
+			}
+		case *ast.SelectorExpr:
+			if pp, ok := pkgPathOf(pass.Info, n.X); ok && pp == "sync" && syncPrimitives[n.Sel.Name] {
+				reportEventLoop(pass, n.Pos(), "sync."+n.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// eventLoopPhrase renders a concurrency fact for the diagnostic message.
+func eventLoopPhrase(what string) string {
+	if what == "go statement" {
+		return "go statement starts a second goroutine"
+	}
+	return what
 }
 
 func reportEventLoop(pass *Pass, pos token.Pos, what string) {
@@ -81,18 +88,4 @@ func reportEventLoop(pass *Pass, pos token.Pos, what string) {
 	pass.Reportf(pos,
 		"%s inside an event-loop-owned package breaks the single-goroutine contract the unsynchronized simulator state depends on (annotate //e3:concurrent <reason> for a real concurrent edge)",
 		what)
-}
-
-// identPkg resolves an expression to the import path of the package it
-// names, if it is a package reference.
-func identPkg(pass *Pass, e ast.Expr) (string, bool) {
-	ident, ok := e.(*ast.Ident)
-	if !ok {
-		return "", false
-	}
-	pn, ok := pass.Info.Uses[ident].(*types.PkgName)
-	if !ok {
-		return "", false
-	}
-	return pn.Imported().Path(), true
 }

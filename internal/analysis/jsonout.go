@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic in the machine-readable e3-lint output: the
+// rule ID, a module-root-relative slash-separated path (stable across
+// machines and checkouts, so CI can diff two runs textually), and the
+// position and message. The JSON field order is fixed by this struct and
+// findings are sorted, so byte-identical trees produce byte-identical
+// reports.
+type Finding struct {
+	Rule    string `json:"rule"`
+	Path    string `json:"path"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col,omitempty"`
+	Message string `json:"message"`
+	// Justification is only meaningful in baseline files: why the finding
+	// is accepted rather than fixed.
+	Justification string `json:"justification,omitempty"`
+}
+
+// Report is the top-level -json document.
+type Report struct {
+	Version  int       `json:"version"`
+	Findings []Finding `json:"findings"`
+}
+
+// key is the baseline-matching identity of a finding. Line and column are
+// deliberately excluded so unrelated edits that shift a baselined finding
+// down a file do not break the gate; rule + path + message is specific
+// enough in practice (two identical violations in one file match two
+// identical baseline entries, multiset-style).
+func (f Finding) key() string {
+	return f.Rule + "\x00" + f.Path + "\x00" + f.Message
+}
+
+// ToFindings converts diagnostics to findings with paths rewritten
+// relative to root (typically the module root).
+func ToFindings(diags []Diagnostic, root string) []Finding {
+	out := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		path := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+				path = rel
+			}
+		}
+		out = append(out, Finding{
+			Rule:    d.Analyzer,
+			Path:    filepath.ToSlash(path),
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	sortFindings(out)
+	return out
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Path != fs[j].Path {
+			return fs[i].Path < fs[j].Path
+		}
+		if fs[i].Line != fs[j].Line {
+			return fs[i].Line < fs[j].Line
+		}
+		if fs[i].Rule != fs[j].Rule {
+			return fs[i].Rule < fs[j].Rule
+		}
+		return fs[i].Message < fs[j].Message
+	})
+}
+
+// MarshalReport renders the canonical indented JSON document.
+func MarshalReport(findings []Finding) ([]byte, error) {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.MarshalIndent(Report{Version: 1, Findings: findings}, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}

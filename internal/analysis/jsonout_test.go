@@ -1,0 +1,142 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"e3/internal/analysis"
+)
+
+// TestJSONRoundTrip runs a real analyzer over a real fixture tree and
+// checks that every finding survives the JSON encoding with an accurate,
+// tree-relative path:line — the property the lint gate's diffing and the
+// baseline matching both stand on.
+func TestJSONRoundTrip(t *testing.T) {
+	root := "testdata/src/detflow"
+	loader := analysis.NewTreeLoader(root)
+	var pkgs []*analysis.Package
+	for _, p := range []string{"e3/internal/sim", "e3/internal/jitter", "e3/internal/scheduler"} {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{analysis.DetFlow})
+	if len(diags) == 0 {
+		t.Fatal("detflow fixture produced no diagnostics; round-trip test is vacuous")
+	}
+	findings := analysis.ToFindings(diags, loader.Root())
+
+	data, err := analysis.MarshalReport(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep analysis.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report does not parse back: %v", err)
+	}
+	if rep.Version != 1 {
+		t.Errorf("report version = %d, want 1", rep.Version)
+	}
+	if !reflect.DeepEqual(rep.Findings, findings) {
+		t.Errorf("findings changed across the JSON round trip:\n got %+v\nwant %+v", rep.Findings, findings)
+	}
+
+	for _, f := range rep.Findings {
+		if filepath.IsAbs(f.Path) || strings.Contains(f.Path, `\`) {
+			t.Errorf("path %q is not tree-relative slash form", f.Path)
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(f.Path)))
+		if err != nil {
+			t.Errorf("finding path %q does not resolve under the tree root: %v", f.Path, err)
+			continue
+		}
+		if lines := bytes.Count(src, []byte("\n")) + 1; f.Line < 1 || f.Line > lines {
+			t.Errorf("%s: line %d out of range (file has %d lines)", f.Path, f.Line, lines)
+		}
+		if f.Rule != "detflow" {
+			t.Errorf("finding rule = %q, want detflow", f.Rule)
+		}
+	}
+
+	// Byte-identical re-marshal: the gate diffs report text.
+	again, err := analysis.MarshalReport(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Error("marshaling the same findings twice produced different bytes")
+	}
+}
+
+func TestBaselineDiff(t *testing.T) {
+	f := func(rule, path, msg string, line int) analysis.Finding {
+		return analysis.Finding{Rule: rule, Path: path, Line: line, Message: msg}
+	}
+	base := &analysis.Baseline{Findings: []analysis.Finding{
+		f("detflow", "internal/a/a.go", "msg one", 10),
+		f("detflow", "internal/a/a.go", "msg one", 40), // second identical entry: multiset
+		f("hotalloc", "internal/b/b.go", "msg two", 7),
+	}}
+
+	// Line drift must not matter; message/rule/path must.
+	fresh, stale := base.Diff([]analysis.Finding{
+		f("detflow", "internal/a/a.go", "msg one", 12),  // matches entry 1 despite drift
+		f("detflow", "internal/a/a.go", "msg one", 99),  // matches entry 2 (multiset)
+		f("hotalloc", "internal/b/b.go", "msg TWO", 7),  // different message: fresh
+		f("errflow", "internal/c/c.go", "msg three", 3), // unknown rule: fresh
+	})
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %+v, want the changed-message and new-rule findings", fresh)
+	}
+	if fresh[0].Rule != "hotalloc" || fresh[1].Rule != "errflow" {
+		t.Errorf("fresh order/content wrong: %+v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Rule != "hotalloc" {
+		t.Errorf("stale = %+v, want the unmatched hotalloc entry", stale)
+	}
+
+	// A clean tree against a non-empty baseline: everything is stale.
+	fresh, stale = base.Diff(nil)
+	if len(fresh) != 0 || len(stale) != 3 {
+		t.Errorf("clean tree: fresh=%d stale=%d, want 0 and 3", len(fresh), len(stale))
+	}
+
+	// Empty baseline against findings: everything is fresh.
+	empty := &analysis.Baseline{}
+	fresh, stale = empty.Diff([]analysis.Finding{f("detflow", "x.go", "m", 1)})
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Errorf("empty baseline: fresh=%d stale=%d, want 1 and 0", len(fresh), len(stale))
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"findings":[{"rule":"detflow","path":"a.go","line":3,"message":"m","justification":"carried"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 1 || b.Findings[0].Justification != "carried" {
+		t.Fatalf("baseline = %+v, want one justified entry", b.Findings)
+	}
+	if _, err := analysis.LoadBaseline(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file must be an error, not an implicit empty baseline")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.LoadBaseline(path); err == nil {
+		t.Error("malformed baseline JSON must be an error")
+	}
+}

@@ -65,6 +65,10 @@ func NewTreeLoader(root string) *Loader {
 	return newLoader(root)
 }
 
+// Root returns the directory anchoring the loader's tree — the module
+// root in module mode — which is what -json output relativizes paths to.
+func (l *Loader) Root() string { return l.root }
+
 func newLoader(root string) *Loader {
 	fset := token.NewFileSet()
 	return &Loader{

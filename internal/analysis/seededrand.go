@@ -34,6 +34,9 @@ var globalRandFuncs = map[string]bool{
 // every same-seed regression comparison (and the paper's §5 experiment
 // reproductions). Because the check resolves the receiver through the type
 // checker, calls on a *rand.Rand variable — even one named rand — are fine.
+//
+// v2: function bodies are read from the shared facts layer; only
+// package-level initializers still need a residual walk.
 var SeededRand = &Analyzer{
 	Name: "seededrand",
 	Doc: "forbid global math/rand top-level functions in stochastic " +
@@ -54,23 +57,27 @@ var SeededRand = &Analyzer{
 }
 
 func runSeededRand(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			pkgPath, fn, ok := pass.PkgFuncCall(call)
-			if !ok || pkgPath != "math/rand" || !globalRandFuncs[fn] {
-				return true
-			}
-			if pass.Exempted(call.Pos(), "unseeded") {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"rand.%s draws from the global math/rand source, breaking same-seed reproducibility; draw from an injected *rand.Rand (or annotate //e3:unseeded <reason>)",
-				fn)
-			return true
-		})
+	reportUse := func(use Use) {
+		if pass.Exempted(use.Pos, "unseeded") {
+			return
+		}
+		pass.Reportf(use.Pos,
+			"%s draws from the global math/rand source, breaking same-seed reproducibility; draw from an injected *rand.Rand (or annotate //e3:unseeded <reason>)",
+			use.What)
 	}
+	for _, ff := range pass.Facts.ByPackage(pass.ImportPath) {
+		for _, use := range ff.GlobalRand {
+			reportUse(use)
+		}
+	}
+	inspectOutsideBodies(pass.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkgPath, fn, ok := pass.PkgFuncCall(call); ok && pkgPath == "math/rand" && globalRandFuncs[fn] {
+			reportUse(Use{Pos: call.Pos(), What: "rand." + fn})
+		}
+		return true
+	})
 }

@@ -1,0 +1,18 @@
+// Package jitter is the fixture's nondeterminism factory. It is *not* a
+// sim-domain package, so the v1 per-package analyzers have nothing to say
+// about it — only taint tracking catches its results reaching a sink two
+// call edges away.
+package jitter
+
+import "time"
+
+// Raw is the taint source: a wall-clock read.
+func Raw() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Scaled is one call edge downstream; a pure function of Raw is still
+// Raw-derived.
+func Scaled() float64 {
+	return Raw() / 1e9
+}

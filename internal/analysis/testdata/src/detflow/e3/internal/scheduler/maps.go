@@ -1,0 +1,62 @@
+package scheduler
+
+import "sort"
+
+// Census collects keys and sorts after the loop: order-independent.
+func Census(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum accumulates an integer: addition over ints commutes.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Smear accumulates a float in map order: non-associative, so the low
+// bits depend on iteration order.
+func Smear(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order is randomized and this range's effects depend on it`
+		total += v
+	}
+	return total
+}
+
+// FirstKey returns an order-chosen element.
+func FirstKey(m map[string]int) string {
+	for k := range m { // want `map iteration order is randomized`
+		return k
+	}
+	return ""
+}
+
+// SanctionedScan carries the escape hatch on an otherwise-flagged loop.
+func SanctionedScan(m map[string]int) int {
+	best := 0
+	//e3:unordered fixture: exercises the suppression path
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Reindex writes through key-derived indexes: distinct cells per
+// iteration, commutative.
+func Reindex(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+// Package sim exercises the directive meta-checks: a consumed
+// suppression (clean), an unknown directive name, and a stale
+// suppression whose violation no longer exists.
+package sim
+
+import "time"
+
+// Stamp is sanctioned wall-clock use; virtualtime consults the directive
+// while suppressing its diagnostic, so it is not stale.
+func Stamp() int64 {
+	return time.Now().UnixNano() //e3:wallclock fixture: consumed suppression
+}
+
+// Pure triggers no analyzer, so the directives below excuse nothing.
+func Pure(a, b int) int {
+	//e3:wallclok fixture: typo in the name // want `unknown directive //e3:wallclok`
+	x := a + b
+	//e3:wallclock fixture: nothing to excuse // want `stale suppression: //e3:wallclock matches no diagnostic on this line`
+	return x
+}

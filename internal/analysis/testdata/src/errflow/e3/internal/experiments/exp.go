@@ -1,0 +1,45 @@
+// Package experiments exercises every discard shape errflow flags. The
+// wrapper cases sit two call edges from the seed (experiments →
+// serving.RunOpenLoop → sim.Engine.Run).
+package experiments
+
+import (
+	"e3/internal/serving"
+	"e3/internal/sim"
+)
+
+// BadStatement drops the abort error on the floor.
+func BadStatement(e *sim.Engine) {
+	e.Run() // want `error returned by Run is discarded \(call used as a statement\)`
+}
+
+// BadWrapper drops the error of a wrapper two edges from the seed.
+func BadWrapper(e *sim.Engine) {
+	_ = serving.RunOpenLoop(e) // want `error returned by RunOpenLoop is discarded \(assigned to _\)`
+}
+
+// BadTuple blanks the error position of a tuple return.
+func BadTuple() int {
+	n, _ := serving.FlushAll(3) // want `error returned by FlushAll is discarded \(error position assigned to _\)`
+	return n
+}
+
+// BadGo launches the run with nobody to receive the error.
+func BadGo(e *sim.Engine) {
+	go e.Run() // want `error returned by Run is discarded \(go statement drops the result\)`
+}
+
+// Good propagates.
+func Good(e *sim.Engine) error {
+	return serving.RunOpenLoop(e)
+}
+
+// GoodHandled inspects the error.
+func GoodHandled(e *sim.Engine) bool {
+	return e.Run() == nil
+}
+
+// Sanctioned documents a deliberate discard.
+func Sanctioned(e *sim.Engine) {
+	e.Run() //e3:discard fixture: exercises the suppression path
+}

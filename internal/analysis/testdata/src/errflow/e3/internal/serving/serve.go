@@ -1,0 +1,16 @@
+// Package serving wraps the engine: RunOpenLoop joins the errflow family
+// through the fixpoint because it returns the engine's abort error, and
+// FlushAll is seeded by name.
+package serving
+
+import "e3/internal/sim"
+
+// RunOpenLoop drives one open-loop run.
+func RunOpenLoop(e *sim.Engine) error {
+	return e.Run()
+}
+
+// FlushAll reports end-of-run losses.
+func FlushAll(pending int) (int, error) {
+	return pending, nil
+}

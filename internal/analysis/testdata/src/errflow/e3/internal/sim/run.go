@@ -1,0 +1,18 @@
+// Package sim provides the fixture's errflow seed: an error-returning
+// Run in an event-loop package.
+package sim
+
+import "errors"
+
+// Engine is a stub with the real engine's Run surface.
+type Engine struct {
+	aborted bool
+}
+
+// Run drains the event loop; the abort error reports truncation.
+func (e *Engine) Run() error {
+	if e.aborted {
+		return errors.New("event limit hit")
+	}
+	return nil
+}

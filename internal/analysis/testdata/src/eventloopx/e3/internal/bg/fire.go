@@ -1,0 +1,39 @@
+// Package bg holds concurrency outside the event-loop scope — the
+// constructs the per-package eventloop analyzer cannot see but
+// event-loop code can still reach through calls.
+package bg
+
+import "sync"
+
+// Fire spawns the hazard.
+func Fire(done func()) {
+	go done()
+}
+
+// Relay is the middle edge: no construct of its own.
+func Relay(done func()) {
+	Fire(done)
+}
+
+// SafeSum is concurrency-free and callable from anywhere.
+func SafeSum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Pooled runs a sanctioned worker pool: every construct carries its own
+// annotation, so reaching it from event-loop code is clean.
+func Pooled(fns []func()) {
+	var wg sync.WaitGroup //e3:concurrent fixture: joined before return
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(f func()) { //e3:concurrent fixture: joined before return
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}

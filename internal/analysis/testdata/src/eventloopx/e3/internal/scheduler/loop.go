@@ -1,0 +1,24 @@
+// Package scheduler is event-loop scope: calls whose callees reach a
+// concurrency construct — even two edges away — are flagged at the
+// boundary call site.
+package scheduler
+
+import "e3/internal/bg"
+
+// Tick is event-loop code; Relay itself is clean but reaches Fire's go
+// statement one edge further down.
+func Tick(done func(), xs []int) int {
+	bg.Relay(done) // want `call from event-loop code reaches go statement at internal/bg/fire\.go:\d+ \(via scheduler\.Tick → bg\.Relay → bg\.Fire\)`
+	return bg.SafeSum(xs)
+}
+
+// Drain uses the sanctioned pool; the constructs carry annotations, so
+// the boundary is clean.
+func Drain(fns []func()) {
+	bg.Pooled(fns)
+}
+
+// Handoff sanctions the edge at the call site instead.
+func Handoff(done func()) {
+	bg.Fire(done) //e3:concurrent fixture: sanctioned handoff edge
+}

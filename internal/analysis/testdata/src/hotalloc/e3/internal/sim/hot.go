@@ -1,0 +1,47 @@
+// Package sim exercises hotalloc: Push is the annotated hot root, and
+// every function it transitively reaches must stay allocation-free.
+package sim
+
+import (
+	"fmt"
+
+	"e3/internal/util"
+)
+
+// Queue is a recycled-capacity event queue.
+type Queue struct {
+	buf  []int
+	tags []string
+}
+
+// Push is the hot root: one call per event. Its self-appends amortize
+// into recycled capacity and are tolerated; the fmt call hiding two
+// edges down in util.Label is not.
+//
+//e3:hotpath fixture: one push per event
+func Push(q *Queue, v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("negative event id %d", v)) // cold: panic paths do not count
+	}
+	ensure(q, len(q.tags)+1)
+	q.buf = append(q.buf, v)
+	q.tags = append(q.tags, describe(v))
+}
+
+// describe is one edge below the root; its own body is clean but it
+// calls into util.
+func describe(v int) string {
+	return util.Label(v)
+}
+
+// ensure grows the tag buffer; the pool-miss make is sanctioned.
+func ensure(q *Queue, n int) {
+	if cap(q.tags) < n {
+		q.tags = make([]string, 0, n) //e3:alloc fixture: pool miss must allocate
+	}
+}
+
+// Report is off the hot path; it may allocate freely.
+func Report(q *Queue) string {
+	return util.Label(len(q.buf))
+}

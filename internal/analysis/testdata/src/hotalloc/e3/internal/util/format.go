@@ -1,0 +1,11 @@
+// Package util holds helpers reachable from the fixture's hot path; it
+// knows nothing about being hot, which is exactly the failure mode
+// hotalloc exists for.
+package util
+
+import "fmt"
+
+// Label formats an event label; fmt allocates on every call.
+func Label(n int) string {
+	return fmt.Sprintf("ev-%d", n) // want `fmt\.Sprintf \(formats and boxes\) allocates on the //e3:hotpath fast path rooted at sim\.Push \(reached via sim\.Push → sim\.describe → util\.Label\)`
+}

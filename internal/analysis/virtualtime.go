@@ -27,6 +27,9 @@ var wallClockFuncs = map[string]bool{
 // audit depends on. Legitimate wall-clock reads at the system's edges (run-
 // duration logging, real-compute measurement like experiments' Figure 20
 // microbenchmark) carry //e3:wallclock with a reason.
+//
+// v2: function bodies are read from the shared facts layer; only
+// package-level initializers still need a residual walk.
 var VirtualTime = &Analyzer{
 	Name: "virtualtime",
 	Doc: "forbid wall-clock time (time.Now, time.Since, wall timers) in " +
@@ -52,23 +55,48 @@ var VirtualTime = &Analyzer{
 }
 
 func runVirtualTime(pass *Pass) {
-	for _, f := range pass.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			pkgPath, fn, ok := pass.PkgFuncCall(call)
-			if !ok || pkgPath != "time" || !wallClockFuncs[fn] {
-				return true
-			}
-			if pass.Exempted(call.Pos(), "wallclock") {
-				return true
-			}
-			pass.Reportf(call.Pos(),
-				"time.%s reads the wall clock inside a simulation-domain package; use the sim engine's virtual time (or annotate //e3:wallclock <reason> for a real edge)",
-				fn)
+	reportUse := func(use Use) {
+		if pass.Exempted(use.Pos, "wallclock") {
+			return
+		}
+		pass.Reportf(use.Pos,
+			"%s reads the wall clock inside a simulation-domain package; use the sim engine's virtual time (or annotate //e3:wallclock <reason> for a real edge)",
+			use.What)
+	}
+	for _, ff := range pass.Facts.ByPackage(pass.ImportPath) {
+		for _, use := range ff.WallClock {
+			reportUse(use)
+		}
+	}
+	// Package-level var initializers sit outside any function body and
+	// therefore outside the facts layer.
+	inspectOutsideBodies(pass.Files, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
-		})
+		}
+		if pkgPath, fn, ok := pass.PkgFuncCall(call); ok && pkgPath == "time" && wallClockFuncs[fn] {
+			reportUse(Use{Pos: call.Pos(), What: "time." + fn})
+		}
+		return true
+	})
+}
+
+// inspectOutsideBodies walks the parts of each file that collectFuncFacts
+// does not: package-level declarations, function signatures and receivers
+// — everything except function bodies.
+func inspectOutsideBodies(files []*ast.File, fn func(ast.Node) bool) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil {
+					ast.Inspect(d.Recv, fn)
+				}
+				ast.Inspect(d.Type, fn)
+			default:
+				ast.Inspect(decl, fn)
+			}
+		}
 	}
 }

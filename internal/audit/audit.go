@@ -138,6 +138,7 @@ func (l *Ledger) Stride() int64 {
 // tracked reports whether the sample's per-event detail is stored.
 func (l *Ledger) tracked(id int64) bool { return l.stride <= 1 || id%l.stride == 0 }
 
+//e3:hotpath runs once per lifecycle event; sampled mode counts in O(1) and must not allocate off the detail path
 func (l *Ledger) record(id int64, e Event) {
 	if l == nil {
 		return
@@ -421,7 +422,15 @@ func (l *Ledger) Verify() *Report {
 	// Per-stage balance: everything dispatched in must terminate there or
 	// be forwarded onward. (Samples stuck mid-stage already violated the
 	// terminal check; this catches tally drift in the accounting itself.)
-	for si, f := range r.Stages {
+	// Walk stages in index order, not map order: violations are report
+	// output and must be byte-identical run to run.
+	stageIdx := make([]int, 0, len(r.Stages))
+	for si := range r.Stages {
+		stageIdx = append(stageIdx, si)
+	}
+	sort.Ints(stageIdx)
+	for _, si := range stageIdx {
+		f := r.Stages[si]
 		if out := f.Completed + f.Dropped + f.Forwarded; out != f.In {
 			r.addViolation("stage %d: in %d ≠ out %d (completed %d + dropped %d + forwarded %d)",
 				si, f.In, out, f.Completed, f.Dropped, f.Forwarded)

@@ -183,6 +183,8 @@ func RunSplit(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spe
 // removes the dominant steady-state allocation. Scalar fields are reset
 // and the slices truncated to length zero (capacity kept); the caller must
 // treat any previous contents of res as dead.
+//
+//e3:hotpath runs one split per dispatched batch; recycled Result slices are the point
 func RunSplitInto(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.Spec, slowdown float64, res *Result) {
 	L := m.Base.NumLayers()
 	if from < 1 || to > L || from > to {

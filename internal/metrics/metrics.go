@@ -229,9 +229,16 @@ func (u *UtilizationTracker) Utilization(end float64) float64 {
 	if horizon <= 0 || len(u.busy) == 0 {
 		return 0
 	}
+	// Sum in sorted-name order: float addition is non-associative, so a
+	// map-order walk would smear the low bits differently every run.
+	names := make([]string, 0, len(u.busy))
+	for name := range u.busy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	sum := 0.0
-	for _, spans := range u.busy {
-		frac := u.busyWithin(spans, end) / horizon
+	for _, name := range names {
+		frac := u.busyWithin(u.busy[name], end) / horizon
 		if frac > 1 {
 			frac = 1
 		}

@@ -213,9 +213,11 @@ func runFast(cfg Config, obj objective) (Plan, bool) {
 				nw = len(chunk)
 			}
 			var next atomic.Int64
+			//e3:concurrent deterministic worker pool: chunk results merge in enumeration order and every worker joins before return
 			var wg sync.WaitGroup
 			for w := 0; w < nw; w++ {
 				wg.Add(1)
+				//e3:concurrent worker goroutines are joined by wg.Wait below; no simulator state is shared
 				go func() {
 					defer wg.Done()
 					for {

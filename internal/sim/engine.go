@@ -83,6 +83,8 @@ func (e *Engine) EventLimit() uint64 { return e.limit }
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it is always a model bug and silently clamping it would
 // corrupt causality.
+//
+//e3:hotpath every scheduled event passes through here; steady-state must not allocate
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
@@ -140,6 +142,8 @@ func (e *Engine) siftDown() {
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event ran.
+//
+//e3:hotpath pop path runs once per simulated event; see README "Data-plane performance"
 func (e *Engine) Step() bool {
 	n := len(e.events)
 	if n == 0 {

@@ -20,6 +20,7 @@ package telemetry
 
 import (
 	"fmt"
+	"sort"
 
 	"e3/internal/audit"
 	"e3/internal/metrics"
@@ -401,11 +402,7 @@ func (t *Tracer) Stages() []int {
 	for s := range t.batchBy {
 		out = append(out, s)
 	}
-	for i := 1; i < len(out); i++ { // insertion sort; stage counts are tiny
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Ints(out)
 	return out
 }
 
@@ -427,7 +424,15 @@ func (t *Tracer) Reconcile(rep *audit.Report) {
 	if int(t.dropped) != rep.Dropped {
 		rep.Violate("telemetry: %d drop events, ledger dropped %d", t.dropped, rep.Dropped)
 	}
-	for reason, n := range t.dropsBy {
+	// Walk reasons in sorted order, not map order: violations are report
+	// output and must be byte-identical run to run.
+	reasons := make([]string, 0, len(t.dropsBy))
+	for reason := range t.dropsBy {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		n := t.dropsBy[reason]
 		if int(n) != rep.ByReason[audit.Reason(reason)] {
 			rep.Violate("telemetry: %d drops for reason %q, ledger has %d", n, reason, rep.ByReason[audit.Reason(reason)])
 		}

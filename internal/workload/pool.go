@@ -62,9 +62,11 @@ func NewBatchPool() *BatchPool { return &BatchPool{} }
 // contents are unspecified — callers must overwrite all n entries (every
 // call site copy-fills or append-fills the slice it dispatches). A nil
 // pool allocates.
+//
+//e3:hotpath runs once per dispatched batch; the free-list hit path must not allocate
 func (p *BatchPool) Get(n int) []Sample {
 	if p == nil || n < 1 || n > 1<<(poolClasses-1) {
-		return make([]Sample, n)
+		return make([]Sample, n) //e3:alloc nil-pool and out-of-class sizes fall back to the allocator by contract
 	}
 	p.gets++
 	for c := classCeil(n); c < poolClasses; c++ {
@@ -76,13 +78,15 @@ func (p *BatchPool) Get(n int) []Sample {
 			return s
 		}
 	}
-	return make([]Sample, n)
+	return make([]Sample, n) //e3:alloc pool miss must allocate; steady state hits the free list
 }
 
 // Put returns a slice's backing array to the pool, zeroing it first so
 // flushed samples do not linger. Nil pools, empty-capacity slices, and
 // beyond-class-range slices are no-ops. The caller must not retain any
 // alias of s after Put.
+//
+//e3:hotpath runs once per retired batch; zero-and-stash must not allocate
 func (p *BatchPool) Put(s []Sample) {
 	if p == nil || cap(s) == 0 {
 		return
