@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate
+.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate slogate
 
-verify: build vet lintgate test race audit replan overhead plangate simgate
+verify: build vet lintgate test race audit replan overhead plangate simgate slogate
 	@echo "verify: all checks passed"
 
 build:
@@ -38,7 +38,7 @@ test:
 # loop; -race keeps the single-goroutine discipline honest at runtime
 # where the eventloop analyzer can only check structure.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/
+	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/ ./internal/slo/
 
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
@@ -70,6 +70,14 @@ plangate:
 # `e3-bench -sim-bench BENCH_PR6.json` writes the full measurement.
 simgate:
 	E3_SIM_GATE=1 $(GO) test ./internal/experiments/ -run 'TestSimGate|TestSimBenchPooledUnpooledByteIdentical' -v
+
+# SLO attribution gate: per-request critical-path breakdowns must
+# reconcile exactly (zero sum mismatches) against the audit ledger on the
+# paper trace and across the drifting replan loop, and the same seed must
+# produce a byte-identical flight-recorder bundle. Always on — no env
+# gate — because the checks are deterministic and fast.
+slogate:
+	$(GO) test ./internal/slo/ -run 'TestSLOGate' -v
 
 # Planner and data-plane microbenchmarks (cost-table build, reference vs
 # memoized search, engine heap churn, batcher flush, traced runner path).

@@ -22,6 +22,7 @@ import (
 	"e3/internal/experiments"
 	"e3/internal/forecast"
 	"e3/internal/replan"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 )
 
@@ -36,6 +37,10 @@ func main() {
 	windows := flag.Int("windows", 0, "run the windowed replan loop (drifting mix, ARIMA vs persistence on the same seed) for N windows; combines with -audit (conservation gate), -bench-out, and -trace-out")
 	planBench := flag.String("plan-bench", "", "time the planner search paths (reference vs memoized, serial vs parallel) across the model/cluster grid and write the JSON report to FILE")
 	simBench := flag.String("sim-bench", "", "run the data-plane fast-path benchmark (paper-scale 9000 req/s x 1h trace, engine churn micro, pooled-vs-unpooled determinism check) and write the JSON report to FILE")
+	bundleOnFailure := flag.String("bundle-on-failure", "", "with -windows: attach the flight recorder and, if any trigger fires (audit violation, SLO burn breach, engine abort), write its diagnostic bundle to FILE")
+	attrOut := flag.String("attr-out", "", "with -windows: write the per-request latency-attribution dump (component totals, per-stage compute, top-k slowest breakdowns) to FILE")
+	sloTarget := flag.Float64("slo-target", slo.DefaultTarget, "with -windows: SLO attainment target the error budget is tracked against")
+	burnThreshold := flag.Float64("burn-threshold", slo.DefaultBurnThreshold, "with -windows: burn-rate alert threshold (1 = burning exactly the budget)")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
@@ -58,7 +63,7 @@ func main() {
 	}
 
 	if *windows > 0 {
-		os.Exit(runReplan(*windows, *auditRun, *benchOut, *traceOut))
+		os.Exit(runReplan(*windows, *auditRun, *benchOut, *traceOut, *bundleOnFailure, *attrOut, *sloTarget, *burnThreshold))
 	}
 
 	if *traceOut != "" || *benchOut != "" {
@@ -296,20 +301,42 @@ type replanReport struct {
 	AuditDropped    int `json:"audit_dropped"`
 	AuditViolations int `json:"audit_violations"`
 
+	// Error-budget accounting across the run (per-window detail rides in
+	// per_window[].budget).
+	SLOTarget      float64 `json:"slo_target"`
+	BudgetBreaches int     `json:"budget_breaches"`
+
 	PerWindow []replan.WindowStat `json:"per_window"`
 }
 
 // runReplan drives the windowed predict→plan→serve→observe loop on the
 // drifting-mix demo, prints the per-window table, and returns the process
 // exit code. auditGate makes any conservation or reconcile violation
-// fatal (the `make verify` gate).
-func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
+// fatal (the `make verify` gate). bundlePath arms the flight recorder and
+// dumps its bundle when any trigger fires; attrPath writes the
+// per-request latency-attribution dump.
+func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, attrPath string, sloTarget, burnThreshold float64) int {
 	var tr *telemetry.Tracer
 	if tracePath != "" {
 		tr = telemetry.New()
 	}
+	cfg := replan.DriftingDemo(windows, forecast.MethodARIMA, tr)
+	attr := slo.NewAttribution(slo.DefaultTopK)
+	cfg.Attr = attr
+	cfg.SLOTarget = sloTarget
+	cfg.BurnThreshold = burnThreshold
+	var rec *slo.Recorder
+	if bundlePath != "" {
+		// The recorder needs a span ring to snapshot; give the run one
+		// when -trace-out didn't already attach a tracer.
+		if cfg.Tracer == nil {
+			cfg.Tracer = telemetry.NewRing(2048)
+		}
+		rec = &slo.Recorder{}
+		cfg.Recorder = rec
+	}
 	start := time.Now()
-	res, err := replan.Run(replan.DriftingDemo(windows, forecast.MethodARIMA, tr))
+	res, err := replan.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "e3-bench:", err)
 		return 1
@@ -322,8 +349,8 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 	}
 
 	fmt.Printf("replan loop: %d windows x 2s virtual (drifting mix, ARIMA forecaster)\n\n", windows)
-	fmt.Printf("%-7s %-10s %-9s %-9s %-8s %-8s %-7s %s\n",
-		"window", "goodput/s", "slo-att", "fcst-mae", "drift", "replan", "cache", "plan")
+	fmt.Printf("%-7s %-10s %-9s %-7s %-8s %-9s %-8s %-8s %-7s %s\n",
+		"window", "goodput/s", "slo-att", "burn", "bgt-rem", "fcst-mae", "drift", "replan", "cache", "plan")
 	for _, ws := range res.Windows {
 		mark := "-"
 		switch {
@@ -339,8 +366,13 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 		case ws.Replanned:
 			cache = "miss"
 		}
-		fmt.Printf("%-7d %-10.0f %-9.3f %-9.4f %-8.3f %-8v %-7s %s\n",
-			ws.Window, ws.Goodput, ws.SLOAttainment, ws.ForecastMAE, ws.Drift, ws.Replanned, cache, mark)
+		burn := fmt.Sprintf("%.2f", ws.Budget.BurnRate)
+		if ws.Budget.Breached {
+			burn += "!"
+		}
+		fmt.Printf("%-7d %-10.0f %-9.3f %-7s %-8.3f %-9.4f %-8.3f %-8v %-7s %s\n",
+			ws.Window, ws.Goodput, ws.SLOAttainment, burn, ws.Budget.BudgetRemaining,
+			ws.ForecastMAE, ws.Drift, ws.Replanned, cache, mark)
 	}
 	fmt.Println()
 	for _, d := range res.Diffs.Items() {
@@ -349,6 +381,11 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 	fmt.Printf("\nreplans: %d (%d plan changes, %d plan-cache hits / %d misses); final plan: %s\n",
 		res.Replans, res.PlanChanges, res.PlanCacheHits, res.PlanCacheMisses, res.FinalPlan)
 	fmt.Printf("forecast MAE: arima %.4f vs persistence %.4f\n", res.MeanForecastMAE, base.MeanForecastMAE)
+	fmt.Printf("SLO budget: target %.3f, %d/%d windows breached burn threshold %.1f\n",
+		res.Budget.Target(), res.Budget.Breaches(), res.Budget.Windows(), res.Budget.BurnThreshold())
+	completed, dropped, attributed := attr.Counts()
+	fmt.Printf("attribution: %d completed / %d dropped, %d breakdowns folded, %d sum mismatches (max residual %.3g s)\n",
+		completed, dropped, attributed, attr.Mismatches(), attr.MaxResidual())
 	fmt.Printf("%s\n", res.Report)
 	fmt.Printf("(completed in %.1fs)\n", time.Since(start).Seconds())
 
@@ -365,6 +402,40 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 			return 1
 		}
 		fmt.Printf("wrote %d spans to %s\n", len(tr.Spans()), tracePath)
+	}
+	if bundlePath != "" {
+		if rec.TriggerCount() == 0 {
+			fmt.Println("flight recorder: no triggers fired; no bundle written")
+		} else {
+			f, ferr := os.Create(bundlePath)
+			if ferr == nil {
+				ferr = rec.Last().WriteJSON(f)
+				if cerr := f.Close(); ferr == nil {
+					ferr = cerr
+				}
+			}
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+				return 1
+			}
+			fmt.Printf("flight recorder: %d trigger(s) fired; wrote bundle to %s\n", rec.TriggerCount(), bundlePath)
+		}
+	}
+	if attrPath != "" {
+		f, ferr := os.Create(attrPath)
+		if ferr == nil {
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			ferr = enc.Encode(attr.Dump())
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+			return 1
+		}
+		fmt.Printf("wrote attribution dump to %s\n", attrPath)
 	}
 	if benchPath != "" {
 		out := replanReport{
@@ -385,6 +456,8 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath string) int {
 			AuditCompleted:         res.Report.Completed,
 			AuditDropped:           res.Report.Dropped,
 			AuditViolations:        len(res.Report.Violations),
+			SLOTarget:              res.Budget.Target(),
+			BudgetBreaches:         res.Budget.Breaches(),
 			PerWindow:              res.Windows,
 		}
 		for _, d := range res.Diffs.Items() {

@@ -7,12 +7,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/infer   {"difficulty": 0.42}
+//	POST /v1/infer        {"difficulty": 0.42}
 //	GET  /v1/plan
 //	GET  /v1/stats
-//	GET  /v1/trace   (recent spans of the boot-time simulated run)
-//	GET  /metrics    (Prometheus text exposition)
+//	GET  /v1/trace        (recent spans of the boot-time simulated run)
+//	GET  /v1/health       (readiness: plan, replan loop, audit, SLO budget)
+//	GET  /v1/debug/bundle (flight-recorder diagnostic bundle)
+//	GET  /metrics         (Prometheus text exposition)
 //	GET  /healthz
+//	GET  /debug/pprof/*   (only with -pprof)
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -30,6 +34,7 @@ import (
 	"e3/internal/profile"
 	"e3/internal/replan"
 	"e3/internal/serving"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/workload"
 )
@@ -39,11 +44,14 @@ func main() {
 	modelName := flag.String("model", "bert-base", "model: bert-base, bert-large, distilbert, resnet50")
 	gpus := flag.String("gpus", "V100=16", "cluster spec, e.g. V100=6,P100=8,K80=15")
 	batch := flag.Int("batch", 8, "input batch size")
-	slo := flag.Duration("slo", 100*time.Millisecond, "latency SLO")
+	sloDur := flag.Duration("slo", 100*time.Millisecond, "latency SLO")
 	easy := flag.Float64("easy", 0.8, "easy fraction of the expected workload")
 	auditBoot := flag.Bool("audit", false, "verify the plan with a boot-time lifecycle conservation audit and expose it via /v1/stats")
 	traceRing := flag.Int("trace-ring", 4096, "retain the most recent N spans of the boot-time simulated run for /metrics and /v1/trace (0 disables boot telemetry)")
 	replanWindows := flag.Int("replan-windows", 0, "run the windowed replan loop for N windows at boot and expose its provenance, forecast telemetry, and plan-diff history via /v1/plan and /metrics")
+	sloTarget := flag.Float64("slo-target", slo.DefaultTarget, "SLO attainment target the error budget accrues against")
+	burnThreshold := flag.Float64("burn-threshold", slo.DefaultBurnThreshold, "window burn rate that counts as a budget breach")
+	pprofDebug := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (off by default; enable only on trusted networks)")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, 0.4)
@@ -62,7 +70,7 @@ func main() {
 	bootTrace := &optimizer.SearchTrace{}
 	plan, err := optimizer.MaximizeGoodput(optimizer.Config{
 		Model: m, Profile: prof, Batch: *batch, Cluster: clus,
-		SLO: slo.Seconds(), SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
+		SLO: sloDur.Seconds(), SlackFrac: 0.2, MinExitFrac: optimizer.DefaultMinExitFrac, Pipelining: true, ModelParallel: true,
 		Trace: bootTrace,
 	})
 	if err != nil {
@@ -74,12 +82,19 @@ func main() {
 	// The boot plan's search provenance is always exposed; a replan loop
 	// replaces it with the last invocation's trace plus the diff history.
 	cp := &serving.ControlPlane{Provenance: bootTrace}
+	recorder := &slo.Recorder{}
 	if *replanWindows > 0 {
 		// Drive the windowed predict→plan→serve→observe loop on this
 		// deployment with the easy fraction drifting away from the boot
-		// assumption, then serve the loop's final (adapted) plan.
+		// assumption, then serve the loop's final (adapted) plan. The loop
+		// gets its own span ring (separate from the boot self-check's ring,
+		// whose counters must reconcile against the boot run alone), plus
+		// the attribution, error budget, and flight recorder the live
+		// /v1/health, /metrics, and /v1/debug/bundle endpoints expose.
+		loopTr := telemetry.NewRing(2048)
+		loopAttr := slo.NewAttribution(slo.DefaultTopK)
 		res, err := replan.Run(replan.Config{
-			Model: m, Cluster: clus, Batch: *batch, SLO: slo.Seconds(),
+			Model: m, Cluster: clus, Batch: *batch, SLO: sloDur.Seconds(),
 			Windows: *replanWindows, WindowDur: 2.0,
 			AvgRate: plan.Goodput, Seed: 424242, DriftThreshold: 0.05,
 			Workload: func(w int) workload.Dist {
@@ -90,6 +105,9 @@ func main() {
 				return workload.Mix(frac)
 			},
 			Method: forecast.MethodARIMA,
+			Tracer: loopTr, Attr: loopAttr,
+			SLOTarget: *sloTarget, BurnThreshold: *burnThreshold,
+			Recorder: recorder,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "e3-serve: replan loop failed:", err)
@@ -101,12 +119,17 @@ func main() {
 		}
 		log.Printf("e3-serve: replan loop: %d windows, %d replans (%d plan changes, %d plan-cache hits), forecast MAE %.4f",
 			*replanWindows, res.Replans, res.PlanChanges, res.PlanCacheHits, res.MeanForecastMAE)
+		if res.Budget.Breaches() > 0 {
+			log.Printf("e3-serve: SLO budget: %d of %d windows breached burn threshold %.1f",
+				res.Budget.Breaches(), res.Budget.Windows(), res.Budget.BurnThreshold())
+		}
 		plan = res.FinalPlan
 		log.Printf("e3-serve: serving adapted plan: %s", plan)
 		cp = &serving.ControlPlane{
 			Provenance: res.Provenance, Forecast: res.Forecast,
 			Diffs: res.Diffs, Replans: res.Replans, PlanChanges: res.PlanChanges,
 			PlanCacheHits: res.PlanCacheHits, PlanCacheMisses: res.PlanCacheMisses,
+			Budget: res.Budget,
 		}
 	}
 
@@ -119,14 +142,24 @@ func main() {
 	if *auditBoot || tr != nil {
 		// Self-check before serving: replay a bursty open-loop trace at the
 		// planned goodput through the full batching/scheduling stack with
-		// the ledger and tracer attached. The run both verifies that every
-		// sample is accounted exactly once and warms the telemetry the live
-		// /metrics and /v1/trace endpoints expose.
-		rep, _, err := serving.TracedPlan(clus, m, plan, workload.Mix(*easy),
-			plan.Goodput, 10.0, slo.Seconds(), 1, tr)
+		// the ledger, tracer, and per-request attribution attached. The run
+		// both verifies that every sample is accounted exactly once (and
+		// that every critical-path breakdown sums to its request's latency)
+		// and warms the telemetry the live /metrics and /v1/trace endpoints
+		// expose.
+		attr := slo.NewAttribution(slo.DefaultTopK)
+		rep, coll, err := serving.ObservedPlan(clus, m, plan, workload.Mix(*easy),
+			plan.Goodput, 10.0, sloDur.Seconds(), 1, tr, attr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "e3-serve: boot run failed:", err)
 			os.Exit(1)
+		}
+		// When no replan loop armed the recorder, arm it with the boot
+		// run's state so /v1/debug/bundle can dump it on a later trigger.
+		if recorder.Ledger == nil {
+			recorder.Spans = tr
+			recorder.Ledger = coll.Audit
+			recorder.Attr = attr
 		}
 		if *auditBoot {
 			log.Printf("e3-serve: %s", rep)
@@ -141,8 +174,26 @@ func main() {
 			log.Printf("e3-serve: telemetry ring holds %d of %d recorded spans", len(tr.Spans()), tr.Total())
 		}
 	}
+	api.AttachRecorder(recorder)
+
+	handler := api.Handler()
+	if *pprofDebug {
+		// pprof is opt-in: profiling endpoints leak heap contents and cost
+		// CPU, so they stay off unless explicitly requested. The routes live
+		// on an outer mux so the serving package itself never imports
+		// net/http/pprof.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+		log.Printf("e3-serve: pprof enabled at /debug/pprof/")
+	}
 	log.Printf("e3-serve: listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, api.Handler()); err != nil {
+	if err := http.ListenAndServe(*addr, handler); err != nil {
 		log.Fatal(err)
 	}
 }

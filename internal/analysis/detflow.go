@@ -70,6 +70,7 @@ var detflowSinkMethods = map[[3]string]string{
 	{"e3/internal/telemetry", "Tracer", "Arrive"}:       "an exported trace span",
 	{"e3/internal/telemetry", "Tracer", "Complete"}:     "an exported trace span",
 	{"e3/internal/telemetry", "Tracer", "Drop"}:         "an exported trace span",
+	{"e3/internal/telemetry", "Tracer", "SLOBurn"}:      "an exported trace span",
 }
 
 // detflowScope lists the packages whose map iterations must be
@@ -90,6 +91,7 @@ var detflowScope = map[string]bool{
 	"e3/internal/core":        true,
 	"e3/internal/telemetry":   true,
 	"e3/internal/replan":      true,
+	"e3/internal/slo":         true,
 	"e3/internal/optimizer":   true,
 	"e3/internal/forecast":    true,
 	"e3/internal/ee":          true,

@@ -48,6 +48,7 @@ var eventLoopScope = []string{
 	"e3/internal/serving",
 	"e3/internal/telemetry",
 	"e3/internal/replan",
+	"e3/internal/slo",
 }
 
 func runEventLoop(pass *Pass) {

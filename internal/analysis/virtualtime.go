@@ -50,6 +50,7 @@ var VirtualTime = &Analyzer{
 		"e3/internal/core",
 		"e3/internal/telemetry",
 		"e3/internal/replan",
+		"e3/internal/slo",
 	),
 	Run: runVirtualTime,
 }

@@ -439,6 +439,16 @@ func (l *Ledger) Verify() *Report {
 	return r
 }
 
+// Totals reports the population-exact terminal counters in O(1), without
+// running a full verification — the flight recorder's ledger snapshot and
+// other live views read these. Exact in both exhaustive and sampled modes.
+func (l *Ledger) Totals() (arrived, completed, dropped int) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	return l.arrivedTotal, l.completedTotal, l.droppedTotal
+}
+
 // DropBreakdown returns drops per classified reason without running a full
 // verification (for live stats endpoints). The counts are population-exact
 // in both exhaustive and sampled modes (maintained as O(1) counters, so

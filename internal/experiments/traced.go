@@ -10,6 +10,7 @@ import (
 	"e3/internal/scheduler"
 	"e3/internal/serving"
 	"e3/internal/sim"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/trace"
 )
@@ -24,12 +25,13 @@ const (
 	tracedSeed    = 424242
 )
 
-// RunTracedDemo plans the demo setting and replays it through the E3
-// pipeline with the given tracer attached end to end (tr may be nil to
-// measure the untraced baseline). The returned report has the tracer's
-// counters reconciled against the ledger; horizon is virtual seconds of
-// bursty arrivals.
-func RunTracedDemo(tr *telemetry.Tracer, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+// RunObservedDemo plans the demo setting and replays it through the E3
+// pipeline with the given tracer and per-request attribution attached end
+// to end (either may be nil; both nil measures the unobserved baseline).
+// The returned report has the tracer's counters and the attribution's
+// breakdown checks reconciled against the ledger; horizon is virtual
+// seconds of bursty arrivals.
+func RunObservedDemo(tr *telemetry.Tracer, attr *slo.Attribution, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
 	base := model.BERTBase()
 	dee := ee.NewDeeBERT(base, 0.4)
 	dist := mix80()
@@ -40,11 +42,16 @@ func RunTracedDemo(tr *telemetry.Tracer, horizon float64) (*audit.Report, *sched
 		return nil, nil, optimizer.Plan{}, err
 	}
 	arr := trace.Bursty(trace.DefaultBursty(tracedAvgRate), horizon, tracedSeed)
-	rep, coll, err := serving.TracedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+	rep, coll, err := serving.ObservedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
 		return scheduler.NewPipeline(eng, mk(), dee, plan, coll)
-	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, tr)
+	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, tr, attr)
 	if err != nil {
 		return nil, nil, optimizer.Plan{}, err
 	}
 	return rep, coll, plan, nil
+}
+
+// RunTracedDemo is RunObservedDemo without per-request attribution.
+func RunTracedDemo(tr *telemetry.Tracer, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+	return RunObservedDemo(tr, nil, horizon)
 }

@@ -24,6 +24,7 @@ import (
 	"e3/internal/scheduler"
 	"e3/internal/serving"
 	"e3/internal/sim"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/trace"
 	"e3/internal/workload"
@@ -64,6 +65,24 @@ type Config struct {
 	// Tracer optionally records spans across the run, including replan
 	// instants on the control-plane track. Nil disables telemetry.
 	Tracer *telemetry.Tracer
+
+	// Attr optionally folds per-request critical-path breakdowns across
+	// the run; its checks reconcile into the final audit report. Nil
+	// disables attribution.
+	Attr *slo.Attribution
+
+	// SLOTarget is the attainment target the error budget accrues
+	// against; BurnThreshold is the window burn rate that counts as a
+	// breach (each emits a control-plane instant and can trigger the
+	// flight recorder). Out-of-range values take slo's defaults. Budget
+	// accounting always runs — it is O(1) per window.
+	SLOTarget     float64
+	BurnThreshold float64
+
+	// Recorder, when non-nil, is armed with the run's tracer, diff ring,
+	// forecast stats, ledger, budget, and attribution, and triggers on
+	// burn-rate breaches, audit violations, and engine aborts.
+	Recorder *slo.Recorder
 
 	// PlanCacheSize bounds the cross-window plan cache. Zero takes
 	// DefaultPlanCacheSize; negative disables caching entirely.
@@ -106,6 +125,10 @@ type WindowStat struct {
 	// PlanCacheHit marks a replan answered from the cross-window plan
 	// cache instead of a fresh search.
 	PlanCacheHit bool `json:"plan_cache_hit"`
+
+	// Budget is the window's error-budget accounting (burn rate, budget
+	// remaining, time-to-exhaustion, breach flag).
+	Budget slo.WindowBudget `json:"budget"`
 }
 
 // Result is one run's outcome.
@@ -132,6 +155,10 @@ type Result struct {
 	// Report is the conservation audit over the entire run, with the
 	// tracer's counters reconciled in.
 	Report *audit.Report
+
+	// Budget is the run's error-budget tracker (never nil: budget
+	// accounting always runs).
+	Budget *slo.Budget
 }
 
 // Run executes the windowed loop. The engine, collector, ledger, and
@@ -155,6 +182,7 @@ func Run(cfg Config) (*Result, error) {
 	coll := scheduler.NewCollector(layers, cfg.SLO, 0)
 	coll.Audit = audit.NewLedger()
 	coll.Trace = cfg.Tracer
+	coll.Attr = cfg.Attr
 	gen := workload.NewGenerator(mix(0), cfg.Seed)
 	gen.SetAudit(coll.Audit)
 	gen.SetTrace(cfg.Tracer)
@@ -163,7 +191,25 @@ func Run(cfg Config) (*Result, error) {
 	est.Method = cfg.Method
 	est.Stats = forecast.NewStats(layers)
 
-	res := &Result{Diffs: optimizer.NewDiffRing(diffHistory), Forecast: est.Stats}
+	budget := slo.NewBudget(cfg.SLOTarget, cfg.BurnThreshold)
+	res := &Result{Diffs: optimizer.NewDiffRing(diffHistory), Forecast: est.Stats, Budget: budget}
+	// Arm the flight recorder with every source this run owns; it
+	// snapshots them all into one bundle when a trigger fires.
+	if rec := cfg.Recorder; rec != nil {
+		rec.Spans = cfg.Tracer
+		rec.Diffs = res.Diffs
+		rec.Forecast = est.Stats
+		rec.Ledger = coll.Audit
+		rec.Budget = budget
+		rec.Attr = cfg.Attr
+	}
+	// abort triggers the recorder on an engine failure before bubbling the
+	// error: the bundle is the black box the failed run leaves behind.
+	abort := func(w int, err error) error {
+		wrapped := fmt.Errorf("replan: window %d: %w", w, err)
+		cfg.Recorder.Trigger(slo.TriggerEngineAbort, wrapped.Error(), eng.Now())
+		return wrapped
+	}
 	var plan optimizer.Plan
 	var planProfile profile.Batch
 	havePlan := false
@@ -255,7 +301,7 @@ func Run(cfg Config) (*Result, error) {
 		// pipeline + batcher; the collector/ledger/tracer persist.
 		pipe, err := scheduler.NewPipeline(eng, cfg.Cluster, cfg.Model, plan, coll)
 		if err != nil {
-			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+			return nil, abort(w, err)
 		}
 		b := serving.NewBatcher(eng, pipe, plan.Batch, plan.Latency, 0.2)
 		gen.SwitchDist(mix(w))
@@ -269,12 +315,12 @@ func Run(cfg Config) (*Result, error) {
 			})
 		}
 		if err := eng.RunAll(); err != nil {
-			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+			return nil, abort(w, err)
 		}
 		b.Flush()
 		pipe.FlushAll()
 		if err := eng.RunAll(); err != nil {
-			return nil, fmt.Errorf("replan: window %d: %w", w, err)
+			return nil, abort(w, err)
 		}
 
 		// Observe: score the forecast, feed the estimator, account the
@@ -290,6 +336,15 @@ func Run(cfg Config) (*Result, error) {
 		if total > 0 {
 			attain = float64(served) / float64(total)
 		}
+		// Fold the window into the error budget; a burn-rate breach is a
+		// control-plane instant and a flight-recorder trigger.
+		wb := budget.ObserveWindow(w, served, violations, dropped, cfg.WindowDur)
+		if wb.Breached {
+			cfg.Tracer.SLOBurn(w, eng.Now())
+			cfg.Recorder.Trigger(slo.TriggerSLOBurn,
+				fmt.Sprintf("window %d burn rate %.2f >= %.2f", w, wb.BurnRate, budget.BurnThreshold()),
+				eng.Now())
+		}
 		res.Windows = append(res.Windows, WindowStat{
 			Window: w, Start: start,
 			Served: served, Violations: violations, Dropped: dropped,
@@ -300,6 +355,7 @@ func Run(cfg Config) (*Result, error) {
 			Replanned:     replanned,
 			PlanChanged:   changed,
 			PlanCacheHit:  cacheHit,
+			Budget:        wb,
 		})
 		coll.ResetWindow()
 	}
@@ -307,6 +363,10 @@ func Run(cfg Config) (*Result, error) {
 	coll.Good.CloseAt(eng.Now())
 	rep := coll.AuditReport()
 	cfg.Tracer.Reconcile(rep)
+	cfg.Attr.Reconcile(rep)
+	if !rep.OK() {
+		cfg.Recorder.Trigger(slo.TriggerAuditViolation, rep.Violations[0], eng.Now())
+	}
 	res.Report = rep
 	res.FinalPlan = plan
 	res.MeanForecastMAE = est.Stats.MAE()

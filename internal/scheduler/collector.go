@@ -10,6 +10,7 @@ import (
 	"e3/internal/audit"
 	"e3/internal/metrics"
 	"e3/internal/profile"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/workload"
 )
@@ -49,6 +50,12 @@ type Collector struct {
 	// tracer's counters reconcile with the ledger.
 	Trace *telemetry.Tracer
 
+	// Attr is an optional per-request latency attribution sink shared the
+	// same way (nil disables it at zero cost). The batcher and runners feed
+	// it the same boundary events they feed the ledger; the collector
+	// records the terminal events so its counters reconcile with both.
+	Attr *slo.Attribution
+
 	// exitCounts[k] counts samples that exited after layer k (1-based).
 	exitCounts []int
 	layers     int
@@ -87,6 +94,7 @@ func (c *Collector) Complete(s workload.Sample, at float64, exitLayer int) {
 	}
 	c.Audit.Completed(s.ID, at, exitLayer)
 	c.Trace.Complete(at, at-s.Arrival)
+	c.Attr.Completed(s, at)
 }
 
 // Drop records a sample shed without execution, classified by reason
@@ -101,6 +109,7 @@ func (c *Collector) Drop(s workload.Sample, at float64, reason audit.Reason) {
 	c.windowViolations++
 	c.Audit.Dropped(s.ID, at, reason)
 	c.Trace.Drop(at, string(reason))
+	c.Attr.Dropped(s, at)
 }
 
 // AuditReport verifies the attached ledger's conservation invariants and

@@ -64,6 +64,7 @@ func (d *DataParallel) Ingest(batch []workload.Sample) {
 	now := d.eng.Now()
 	for _, s := range batch {
 		d.coll.Audit.Dispatched(s.ID, now, 0, pick.device)
+		d.coll.Attr.Dispatched(s, now, 0)
 	}
 	pick.queue = append(pick.queue, batch)
 	if !pick.busy {
@@ -89,6 +90,7 @@ func (d *DataParallel) runNext(inst *instance) {
 	now := d.eng.Now()
 	d.coll.Util.AddBusy(dev.ID, now, res.Duration)
 	d.coll.Trace.Execute(dev.ID, string(dev.Kind), 0, len(batch), now, now+res.Duration)
+	d.coll.Attr.Executed(0, batch, now, now+res.Duration)
 	if d.ewmaBatch == 0 {
 		d.ewmaBatch = res.Duration
 	} else {

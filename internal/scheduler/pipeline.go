@@ -197,6 +197,7 @@ func (p *Pipeline) dispatchTo(si int, pick *instance, batch []workload.Sample) {
 	now := p.eng.Now()
 	for _, s := range batch {
 		p.coll.Audit.Dispatched(s.ID, now, si, pick.device)
+		p.coll.Attr.Dispatched(s, now, si)
 	}
 	pick.queue = append(pick.queue, batch)
 	if !pick.busy {
@@ -254,6 +255,7 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	exec.RunSplitInto(p.model, st.split.From, st.split.To, batch, dev.Spec(), dev.Slowdown, &res)
 	p.coll.Util.AddBusy(dev.ID, now, res.Duration)
 	p.coll.Trace.Execute(dev.ID, string(dev.Kind), si, len(batch), now, now+res.Duration)
+	p.coll.Attr.Executed(si, batch, now, now+res.Duration)
 
 	// Straggler detection (§3.3): compare against the planned time for
 	// this exact batch size — partial batches have high fixed costs, so
@@ -315,6 +317,7 @@ func (p *Pipeline) receive(si int, survivors []workload.Sample, dest *instance) 
 	now := p.eng.Now()
 	for _, s := range survivors {
 		p.coll.Audit.Merged(s.ID, now, si)
+		p.coll.Attr.Merged(s, now, si)
 		st.merge = append(st.merge, pendingSample{s: s, at: now, dest: dest})
 	}
 	// The merge queue copied every survivor by value; recycle the slice.

@@ -110,6 +110,7 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			}
 			for _, smp := range pool[lo:hi] {
 				s.coll.Audit.Dispatched(smp.ID, now+elapsed, si, i%g)
+				s.coll.Attr.Dispatched(smp, now+elapsed, si)
 			}
 			res := exec.RunSplit(s.model, sp.From, sp.To, pool[lo:hi], spec, s.clus.Devices[i%g].Slowdown)
 			// No pipelining: the boundary handoff sits on the critical path.
@@ -119,6 +120,7 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			dev := s.clus.Devices[i%g]
 			s.coll.Util.AddBusy(dev.ID, now+elapsed, res.Duration)
 			s.coll.Trace.Execute(dev.ID, string(dev.Kind), si, hi-lo, now+elapsed, now+elapsed+res.Duration)
+			s.coll.Attr.Executed(si, pool[lo:hi], now+elapsed, now+elapsed+res.Duration)
 			// Every completion of this batch lands at the end of the phase;
 			// one event finishes them all in slice order, matching the
 			// per-sample events this replaces.

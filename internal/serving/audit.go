@@ -7,28 +7,31 @@ import (
 	"e3/internal/optimizer"
 	"e3/internal/scheduler"
 	"e3/internal/sim"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/trace"
 	"e3/internal/workload"
 )
 
-// TracedOpenLoop replays an arrival trace through a dynamic batcher with
-// the lifecycle ledger — and, when tr is non-nil, the span tracer — wired
-// end to end (generator → batcher → runner → collector), then verifies
-// conservation: every minted sample must be completed or dropped exactly
-// once, with monotone timestamps and classified drop reasons, and the
-// tracer's event counts must reconcile with the ledger's totals
-// (telemetry.Tracer.Reconcile folds mismatches into the report). The
-// runner is built by mk against the engine and a ledger-carrying
-// collector. It returns the verified report and the collector for further
-// inspection.
-func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
-	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64,
-	tr *telemetry.Tracer) (*audit.Report, *scheduler.Collector, error) {
+// ObservedOpenLoop replays an arrival trace through a dynamic batcher with
+// the lifecycle ledger — and, when non-nil, the span tracer and the
+// per-request attribution — wired end to end (generator → batcher →
+// runner → collector), then verifies conservation: every minted sample
+// must be completed or dropped exactly once, with monotone timestamps and
+// classified drop reasons, the tracer's event counts must reconcile with
+// the ledger's totals, and every attributed breakdown must sum to its
+// request's end-to-end latency (both Reconcile hooks fold mismatches into
+// the report). The runner is built by mk against the engine and a
+// ledger-carrying collector. It returns the verified report and the
+// collector for further inspection.
+func ObservedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, sloDeadline float64, batch int, seed int64,
+	tr *telemetry.Tracer, attr *slo.Attribution) (*audit.Report, *scheduler.Collector, error) {
 	eng := sim.NewEngine()
-	coll := scheduler.NewCollector(layers, slo, 0)
+	coll := scheduler.NewCollector(layers, sloDeadline, 0)
 	coll.Audit = audit.NewLedger()
 	coll.Trace = tr
+	coll.Attr = attr
 	r, err := mk(eng, coll)
 	if err != nil {
 		return nil, nil, err
@@ -37,7 +40,7 @@ func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (schedul
 	gen.SetAudit(coll.Audit)
 	gen.SetTrace(tr)
 	b := NewBatcher(eng, r, batch, estService, 0.2)
-	c, err := RunOpenLoop(eng, r, b, arr, gen, slo)
+	c, err := RunOpenLoop(eng, r, b, arr, gen, sloDeadline)
 	if err != nil {
 		// A truncated run cannot be audited — conservation is trivially
 		// violated when in-flight samples were abandoned mid-event-loop.
@@ -45,7 +48,15 @@ func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (schedul
 	}
 	rep := c.AuditReport()
 	tr.Reconcile(rep)
+	attr.Reconcile(rep)
 	return rep, c, nil
+}
+
+// TracedOpenLoop is ObservedOpenLoop without per-request attribution.
+func TracedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, slo float64, batch int, seed int64,
+	tr *telemetry.Tracer) (*audit.Report, *scheduler.Collector, error) {
+	return ObservedOpenLoop(mk, layers, arr, dist, estService, slo, batch, seed, tr, nil)
 }
 
 // AuditedOpenLoop is TracedOpenLoop without telemetry.
@@ -54,17 +65,26 @@ func AuditedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (schedu
 	return TracedOpenLoop(mk, layers, arr, dist, estService, slo, batch, seed, nil)
 }
 
-// TracedPlan runs a bursty open-loop conservation audit of an E3 plan on
-// the given cluster with the span tracer attached — the self-check and
-// telemetry warm-up e3-serve performs at boot before exposing the plan
-// over HTTP. The tracer (commonly a ring) ends up holding the run's spans
-// and histograms for the live /metrics and /v1/trace endpoints.
+// ObservedPlan runs a bursty open-loop conservation audit of an E3 plan
+// on the given cluster with the span tracer and per-request attribution
+// attached — the self-check and telemetry warm-up e3-serve performs at
+// boot before exposing the plan over HTTP. The tracer (commonly a ring)
+// ends up holding the run's spans and histograms for the live /metrics
+// and /v1/trace endpoints; the attribution ends up holding the run's
+// critical-path breakdowns.
+func ObservedPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
+	avgRate, horizon, sloDeadline float64, seed int64,
+	tr *telemetry.Tracer, attr *slo.Attribution) (*audit.Report, *scheduler.Collector, error) {
+	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
+	return ObservedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+		return scheduler.NewPipeline(eng, clus, m, plan, coll)
+	}, m.Base.NumLayers(), arr, dist, plan.Latency, sloDeadline, plan.Batch, seed, tr, attr)
+}
+
+// TracedPlan is ObservedPlan without per-request attribution.
 func TracedPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
 	avgRate, horizon, slo float64, seed int64, tr *telemetry.Tracer) (*audit.Report, *scheduler.Collector, error) {
-	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
-	return TracedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
-		return scheduler.NewPipeline(eng, clus, m, plan, coll)
-	}, m.Base.NumLayers(), arr, dist, plan.Latency, slo, plan.Batch, seed, tr)
+	return ObservedPlan(clus, m, plan, dist, avgRate, horizon, slo, seed, tr, nil)
 }
 
 // AuditPlan is TracedPlan without telemetry, returning only the report.

@@ -71,6 +71,7 @@ func (b *Batcher) Arrive(s workload.Sample) {
 	}
 	b.queue = append(b.queue, s)
 	b.ledger().Queued(s.ID, now)
+	b.runner.Collector().Attr.Queued(s, now)
 	if len(b.queue) >= b.Batch {
 		b.dispatch(b.Batch)
 		return

@@ -6,6 +6,7 @@ import (
 
 	"e3/internal/forecast"
 	"e3/internal/optimizer"
+	"e3/internal/slo"
 )
 
 // ControlPlane bundles the control-plane observability state a server
@@ -27,6 +28,8 @@ type ControlPlane struct {
 	// cache; PlanCacheMisses the ones that ran a fresh search.
 	PlanCacheHits   int
 	PlanCacheMisses int
+	// Budget is the replan loop's SLO error-budget accountant.
+	Budget *slo.Budget
 }
 
 // AttachControlPlane exposes control-plane observability through /v1/plan
@@ -106,4 +109,28 @@ func (a *API) writeControlPlaneMetrics(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# HELP e3_replan_plan_cache_misses_total Replans that ran a fresh plan search.")
 	fmt.Fprintln(w, "# TYPE e3_replan_plan_cache_misses_total counter")
 	fmt.Fprintf(w, "e3_replan_plan_cache_misses_total %d\n", a.cp.PlanCacheMisses)
+	if b := a.cp.Budget; b != nil {
+		fmt.Fprintln(w, "# HELP e3_slo_budget_target Attainment target the error budget is tracked against.")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_target gauge")
+		fmt.Fprintf(w, "e3_slo_budget_target %g\n", b.Target())
+		fmt.Fprintln(w, "# HELP e3_slo_budget_windows_total Windows folded into the error budget.")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_windows_total counter")
+		fmt.Fprintf(w, "e3_slo_budget_windows_total %d\n", b.Windows())
+		fmt.Fprintln(w, "# HELP e3_slo_budget_breaches_total Windows whose burn rate crossed the alert threshold.")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_breaches_total counter")
+		fmt.Fprintf(w, "e3_slo_budget_breaches_total %d\n", b.Breaches())
+		last := b.Last()
+		fmt.Fprintln(w, "# HELP e3_slo_budget_attainment Last window's SLO attainment fraction.")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_attainment gauge")
+		fmt.Fprintf(w, "e3_slo_budget_attainment %g\n", last.Attainment)
+		fmt.Fprintln(w, "# HELP e3_slo_budget_burn_rate Last window's error-budget burn rate (1 = burning exactly the budget).")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_burn_rate gauge")
+		fmt.Fprintf(w, "e3_slo_budget_burn_rate %g\n", last.BurnRate)
+		fmt.Fprintln(w, "# HELP e3_slo_budget_remaining Fraction of the cumulative error budget still unspent.")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_remaining gauge")
+		fmt.Fprintf(w, "e3_slo_budget_remaining %g\n", last.BudgetRemaining)
+		fmt.Fprintln(w, "# HELP e3_slo_budget_exhaustion_seconds Projected seconds until budget exhaustion at the current burn rate (-1 = never).")
+		fmt.Fprintln(w, "# TYPE e3_slo_budget_exhaustion_seconds gauge")
+		fmt.Fprintf(w, "e3_slo_budget_exhaustion_seconds %g\n", last.ExhaustionIn)
+	}
 }

@@ -1,0 +1,116 @@
+package serving
+
+// Readiness and flight-recorder endpoints. /v1/health is the machine-
+// readable readiness probe a fleet registry polls (plan loaded, replan
+// loop alive, last-audit verdict, error-budget state); /v1/debug/bundle
+// serves the flight recorder's most recent diagnostic bundle.
+
+import (
+	"net/http"
+
+	"e3/internal/slo"
+)
+
+// AttachRecorder exposes a flight recorder through /v1/debug/bundle.
+func (a *API) AttachRecorder(rec *slo.Recorder) {
+	a.mu.Lock()
+	a.recorder = rec
+	a.mu.Unlock()
+}
+
+// HealthAudit is the last audit run's verdict.
+type HealthAudit struct {
+	OK         bool `json:"ok"`
+	Samples    int  `json:"samples"`
+	Violations int  `json:"violations"`
+}
+
+// HealthReplan reports the replan loop's state.
+type HealthReplan struct {
+	// Alive marks a control plane whose loop has completed at least one
+	// planner invocation.
+	Alive       bool `json:"alive"`
+	Invocations int  `json:"invocations"`
+	PlanChanges int  `json:"plan_changes"`
+}
+
+// HealthResponse is the /v1/health body. Ready is the single bit a load
+// balancer keys on; the component blocks explain it.
+type HealthResponse struct {
+	Ready      bool   `json:"ready"`
+	Model      string `json:"model"`
+	PlanLoaded bool   `json:"plan_loaded"`
+	PlanGPUs   int    `json:"plan_gpus"`
+
+	Audit  *HealthAudit        `json:"audit,omitempty"`
+	Replan *HealthReplan       `json:"replan,omitempty"`
+	Budget *slo.BudgetSnapshot `json:"slo_budget,omitempty"`
+}
+
+// handleHealthV1 reports readiness: 200 when the plan is loaded, any
+// attached audit verdict is clean, and any attached replan loop has run;
+// 503 otherwise. Optional subsystems that are simply absent do not fail
+// the probe — a server booted without -audit is still ready.
+func (a *API) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	resp := HealthResponse{
+		Model:      a.model.Name,
+		PlanLoaded: len(a.plan.Splits) > 0,
+		PlanGPUs:   a.plan.GPUs,
+	}
+	ready := resp.PlanLoaded
+	if a.auditRep != nil {
+		resp.Audit = &HealthAudit{
+			OK:         a.auditRep.OK(),
+			Samples:    a.auditRep.Samples,
+			Violations: len(a.auditRep.Violations),
+		}
+		ready = ready && resp.Audit.OK
+	}
+	if a.cp != nil {
+		// A provenance-only control plane (static boot plan, no replan
+		// loop configured) carries no loop artifacts; only gate readiness
+		// on loop liveness when the loop was supposed to run.
+		loopConfigured := a.cp.Replans > 0 || a.cp.PlanChanges > 0 ||
+			a.cp.Forecast != nil || a.cp.Diffs != nil || a.cp.Budget != nil
+		if loopConfigured {
+			resp.Replan = &HealthReplan{
+				Alive:       a.cp.Replans > 0,
+				Invocations: a.cp.Replans,
+				PlanChanges: a.cp.PlanChanges,
+			}
+			ready = ready && resp.Replan.Alive
+		}
+		resp.Budget = a.cp.Budget.Snapshot()
+	}
+	resp.Ready = ready
+	if !ready {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, resp)
+}
+
+// BundleResponse is the /v1/debug/bundle body: how many triggers have
+// fired and, when at least one has, the most recent bundle.
+type BundleResponse struct {
+	Triggers int         `json:"triggers"`
+	Bundle   *slo.Bundle `json:"bundle,omitempty"`
+}
+
+// handleDebugBundle serves the flight recorder's most recent diagnostic
+// bundle. 404 when no recorder is attached; an attached recorder with no
+// triggers yet returns {"triggers": 0}.
+func (a *API) handleDebugBundle(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.recorder == nil {
+		http.Error(w, "no flight recorder attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, BundleResponse{
+		Triggers: a.recorder.TriggerCount(),
+		Bundle:   a.recorder.Last(),
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"e3/internal/ee"
 	"e3/internal/metrics"
 	"e3/internal/optimizer"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 )
 
@@ -40,6 +41,9 @@ type API struct {
 	// cp holds the control-plane observability state for /v1/plan and
 	// /metrics (nil when none is attached).
 	cp *ControlPlane
+	// recorder holds the flight recorder for /v1/debug/bundle (nil when
+	// none is attached).
+	recorder *slo.Recorder
 }
 
 // NewAPI builds the handler set for a planned model.
@@ -58,6 +62,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/v1/plan", a.handlePlan)
 	mux.HandleFunc("/v1/stats", a.handleStats)
 	mux.HandleFunc("/v1/trace", a.handleTrace)
+	mux.HandleFunc("/v1/health", a.handleHealthV1)
+	mux.HandleFunc("/v1/debug/bundle", a.handleDebugBundle)
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	return mux
 }

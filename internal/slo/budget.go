@@ -1,0 +1,183 @@
+package slo
+
+// SLO error-budget accounting. The budget model is the standard SRE one:
+// with an attainment target T, the error budget is the (1−T) fraction of
+// outcomes allowed to be bad (violations + drops). A window whose bad
+// fraction equals 1−T burns budget at rate 1.0; a burn rate ≥ the
+// threshold is a breach, which emits a control-plane instant and can
+// trigger the flight recorder.
+
+const (
+	// DefaultTarget is the attainment target when none is configured.
+	DefaultTarget = 0.99
+	// DefaultBurnThreshold is the window burn rate that counts as a
+	// breach (the classic "2× fast burn" page threshold).
+	DefaultBurnThreshold = 2.0
+)
+
+// WindowBudget is one window's error-budget accounting.
+type WindowBudget struct {
+	Window int `json:"window"`
+	// Attainment is served / (served + violations + dropped); 1 when the
+	// window had no outcomes.
+	Attainment float64 `json:"attainment"`
+	// BurnRate is the window's bad fraction over the allowed bad fraction
+	// (1−target): 1.0 burns the budget exactly as fast as it accrues.
+	BurnRate float64 `json:"burn_rate"`
+	// BudgetUsed and BudgetRemaining are cumulative over the run:
+	// used = bad / (total · (1−target)); remaining = 1 − used (negative
+	// once the budget is overspent).
+	BudgetUsed      float64 `json:"budget_used"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	// ExhaustionIn is the virtual seconds until the cumulative budget
+	// runs dry if this window's traffic and burn continue: 0 when already
+	// exhausted, and −1 ("never") when the window burns no faster than
+	// the budget accrues. The sentinel keeps the value JSON-encodable.
+	ExhaustionIn float64 `json:"exhaustion_in_s"`
+	// Breached marks BurnRate ≥ the configured threshold.
+	Breached bool `json:"breached"`
+}
+
+// ExhaustionNever is the ExhaustionIn sentinel for "not burning".
+const ExhaustionNever = -1.0
+
+// Budget tracks an SLO error budget across scheduling windows. Not safe
+// for concurrent use (event-loop goroutine only); a nil *Budget is valid
+// and records nothing.
+type Budget struct {
+	target        float64
+	burnThreshold float64
+
+	cumGood, cumBad int
+	elapsed         float64
+	windows         int
+	breaches        int
+	last            WindowBudget
+}
+
+// NewBudget builds a budget for an attainment target in (0, 1) and a
+// breach burn-rate threshold; out-of-range values take the defaults.
+func NewBudget(target, burnThreshold float64) *Budget {
+	if target <= 0 || target >= 1 {
+		target = DefaultTarget
+	}
+	if burnThreshold <= 0 {
+		burnThreshold = DefaultBurnThreshold
+	}
+	return &Budget{target: target, burnThreshold: burnThreshold}
+}
+
+// Target reports the attainment target (0 for a nil budget).
+func (b *Budget) Target() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.target
+}
+
+// BurnThreshold reports the breach threshold (0 for a nil budget).
+func (b *Budget) BurnThreshold() float64 {
+	if b == nil {
+		return 0
+	}
+	return b.burnThreshold
+}
+
+// ObserveWindow folds one window's outcomes (dur virtual seconds long)
+// into the budget and returns its accounting. A nil budget returns the
+// zero accounting.
+func (b *Budget) ObserveWindow(window, served, violations, dropped int, dur float64) WindowBudget {
+	wb := WindowBudget{Window: window, Attainment: 1, ExhaustionIn: ExhaustionNever}
+	if b == nil {
+		return wb
+	}
+	bad := violations + dropped
+	total := served + bad
+	b.windows++
+	b.elapsed += dur
+	b.cumGood += served
+	b.cumBad += bad
+
+	frac := 1 - b.target // allowed bad fraction
+	if total > 0 {
+		wb.Attainment = float64(served) / float64(total)
+		wb.BurnRate = (1 - wb.Attainment) / frac
+	}
+	cumTotal := b.cumGood + b.cumBad
+	if cumTotal > 0 {
+		allowed := frac * float64(cumTotal)
+		wb.BudgetUsed = float64(b.cumBad) / allowed
+	}
+	wb.BudgetRemaining = 1 - wb.BudgetUsed
+	switch {
+	case cumTotal > 0 && wb.BudgetRemaining <= 0:
+		wb.ExhaustionIn = 0
+	case total > 0 && dur > 0:
+		// At this window's rates, budget accrues at frac·(total/dur)
+		// outcomes/s and burns at bad/dur; exhaustion is when the
+		// cumulative headroom is eaten by the net burn.
+		net := float64(bad)/dur - frac*float64(total)/dur
+		if net > 0 {
+			wb.ExhaustionIn = (frac*float64(cumTotal) - float64(b.cumBad)) / net
+		}
+	}
+	wb.Breached = total > 0 && wb.BurnRate >= b.burnThreshold
+	if wb.Breached {
+		b.breaches++
+	}
+	b.last = wb
+	return wb
+}
+
+// Windows reports observed windows; Breaches the burn-rate crossings.
+func (b *Budget) Windows() int {
+	if b == nil {
+		return 0
+	}
+	return b.windows
+}
+
+// Breaches reports how many windows crossed the burn-rate threshold.
+func (b *Budget) Breaches() int {
+	if b == nil {
+		return 0
+	}
+	return b.breaches
+}
+
+// Last returns the most recent window's accounting (zero before any
+// window, with Attainment 1 and ExhaustionIn "never").
+func (b *Budget) Last() WindowBudget {
+	if b == nil || b.windows == 0 {
+		return WindowBudget{Attainment: 1, ExhaustionIn: ExhaustionNever}
+	}
+	return b.last
+}
+
+// BudgetSnapshot is the budget's exportable state (flight-recorder
+// bundles, the health endpoint).
+type BudgetSnapshot struct {
+	Target        float64      `json:"target"`
+	BurnThreshold float64      `json:"burn_threshold"`
+	Windows       int          `json:"windows"`
+	Breaches      int          `json:"breaches"`
+	Served        int          `json:"served"`
+	Bad           int          `json:"bad"`
+	Last          WindowBudget `json:"last_window"`
+}
+
+// Snapshot captures the budget's state (nil for a nil budget).
+func (b *Budget) Snapshot() *BudgetSnapshot {
+	if b == nil {
+		return nil
+	}
+	return &BudgetSnapshot{
+		Target:        b.target,
+		BurnThreshold: b.burnThreshold,
+		Windows:       b.windows,
+		Breaches:      b.breaches,
+		Served:        b.cumGood,
+		Bad:           b.cumBad,
+		Last:          b.Last(),
+	}
+}

@@ -1,0 +1,117 @@
+package slo
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(got, want float64) bool { return math.Abs(got-want) < 1e-9 }
+
+func TestBudgetWindowMath(t *testing.T) {
+	// Target 0.99: allowed bad fraction 0.01. A window with 980 served and
+	// 20 bad burns at 2.0 and overspends the cumulative budget 2x.
+	b := NewBudget(0.99, 2.0)
+	wb := b.ObserveWindow(0, 980, 12, 8, 2.0)
+	if !approx(wb.Attainment, 0.98) {
+		t.Fatalf("attainment = %v, want 0.98", wb.Attainment)
+	}
+	if !approx(wb.BurnRate, 2.0) {
+		t.Fatalf("burn rate = %v, want 2.0", wb.BurnRate)
+	}
+	if !approx(wb.BudgetUsed, 2.0) || !approx(wb.BudgetRemaining, -1.0) {
+		t.Fatalf("used/remaining = %v/%v, want 2/-1", wb.BudgetUsed, wb.BudgetRemaining)
+	}
+	if !wb.Breached {
+		t.Fatal("burn 2.0 must breach threshold 2.0")
+	}
+	if wb.ExhaustionIn != 0 {
+		t.Fatalf("exhaustion = %v, want 0 (budget overspent)", wb.ExhaustionIn)
+	}
+}
+
+func TestBudgetCleanWindowNeverExhausts(t *testing.T) {
+	b := NewBudget(0.99, 2.0)
+	wb := b.ObserveWindow(0, 1000, 0, 0, 2.0)
+	if wb.Attainment != 1 || wb.BurnRate != 0 {
+		t.Fatalf("clean window = %+v", wb)
+	}
+	if wb.ExhaustionIn != ExhaustionNever {
+		t.Fatalf("exhaustion = %v, want the never sentinel", wb.ExhaustionIn)
+	}
+	if !approx(wb.BudgetRemaining, 1.0) {
+		t.Fatalf("remaining = %v, want 1.0", wb.BudgetRemaining)
+	}
+}
+
+func TestBudgetFastBurnBreachesAndProjectsExhaustion(t *testing.T) {
+	b := NewBudget(0.99, 2.0)
+	// Window 0 is clean and banks budget; window 1 burns at 5x.
+	b.ObserveWindow(0, 1000, 0, 0, 2.0)
+	wb := b.ObserveWindow(1, 950, 50, 0, 2.0)
+	if !approx(wb.BurnRate, 5.0) {
+		t.Fatalf("burn rate = %v, want 5.0", wb.BurnRate)
+	}
+	if !wb.Breached || b.Breaches() != 1 {
+		t.Fatalf("breach not recorded: %+v, breaches=%d", wb, b.Breaches())
+	}
+	// Cumulative: 2000 outcomes, 50 bad, allowed 20 -> overspent already.
+	if wb.BudgetRemaining >= 0 || wb.ExhaustionIn != 0 {
+		t.Fatalf("overspent budget: remaining=%v exhaustion=%v", wb.BudgetRemaining, wb.ExhaustionIn)
+	}
+}
+
+func TestBudgetExhaustionProjection(t *testing.T) {
+	b := NewBudget(0.9, 2.0) // allowed bad fraction 0.1
+	// Nine clean windows bank headroom, then a 20%-bad window burns at 2x.
+	for w := 0; w < 9; w++ {
+		b.ObserveWindow(w, 100, 0, 0, 1.0)
+	}
+	wb := b.ObserveWindow(9, 80, 20, 0, 1.0)
+	if !approx(wb.BurnRate, 2.0) || !wb.Breached {
+		t.Fatalf("burn = %v breached = %v, want 2.0/true", wb.BurnRate, wb.Breached)
+	}
+	// Headroom: allowed 0.1*1000 = 100, spent 20 -> 80 left. Net burn:
+	// 20/s spent - 10/s accrued = 10/s -> exhaustion in 8 virtual seconds.
+	if !approx(wb.ExhaustionIn, 8.0) {
+		t.Fatalf("exhaustion = %v, want 8.0", wb.ExhaustionIn)
+	}
+}
+
+func TestBudgetEmptyWindow(t *testing.T) {
+	b := NewBudget(0.99, 2.0)
+	wb := b.ObserveWindow(0, 0, 0, 0, 2.0)
+	if wb.Attainment != 1 || wb.BurnRate != 0 || wb.Breached {
+		t.Fatalf("empty window = %+v", wb)
+	}
+}
+
+func TestBudgetDefaultsAndNil(t *testing.T) {
+	b := NewBudget(0, -1)
+	if b.Target() != DefaultTarget || b.BurnThreshold() != DefaultBurnThreshold {
+		t.Fatalf("defaults = %v/%v", b.Target(), b.BurnThreshold())
+	}
+	var nb *Budget
+	wb := nb.ObserveWindow(0, 10, 10, 10, 1.0)
+	if wb.Attainment != 1 || wb.ExhaustionIn != ExhaustionNever {
+		t.Fatalf("nil ObserveWindow = %+v", wb)
+	}
+	if nb.Windows() != 0 || nb.Breaches() != 0 || nb.Snapshot() != nil {
+		t.Fatal("nil budget must be inert")
+	}
+	if last := nb.Last(); last.Attainment != 1 {
+		t.Fatalf("nil Last = %+v", last)
+	}
+}
+
+func TestBudgetSnapshot(t *testing.T) {
+	b := NewBudget(0.99, 2.0)
+	b.ObserveWindow(0, 990, 10, 0, 2.0)
+	b.ObserveWindow(1, 900, 100, 0, 2.0)
+	snap := b.Snapshot()
+	if snap.Windows != 2 || snap.Served != 1890 || snap.Bad != 110 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Breaches != 1 || snap.Last.Window != 1 {
+		t.Fatalf("snapshot breach state = %+v", snap)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"e3/internal/experiments"
+	"e3/internal/slo"
 	"e3/internal/telemetry"
 )
 
@@ -31,19 +32,27 @@ const maxOverheadFrac = 0.5
 // slackMS absorbs absolute timer noise on runs this short.
 const slackMS = 10.0
 
-func timeDemo(tb testing.TB, mk func() *telemetry.Tracer, rounds int) float64 {
+func timeDemo(tb testing.TB, mk func() (*telemetry.Tracer, *slo.Attribution), rounds int) float64 {
 	tb.Helper()
 	best := 0.0
 	for i := 0; i < rounds; i++ {
-		tr := mk()
+		tr, attr := mk()
 		start := time.Now()
-		rep, _, _, err := experiments.RunTracedDemo(tr, gateHorizon)
+		rep, coll, _, err := experiments.RunObservedDemo(tr, attr, gateHorizon)
 		elapsed := time.Since(start).Seconds() * 1e3
 		if err != nil {
 			tb.Fatal(err)
 		}
 		if err := rep.Err(); err != nil {
 			tb.Fatalf("demo failed its audit: %v", err)
+		}
+		if attr != nil {
+			// The observed config also pays for a flight-recorder trigger,
+			// so the gate bounds the full always-on observability stack.
+			rec := &slo.Recorder{Spans: tr, Ledger: coll.Audit, Attr: attr}
+			if rec.Trigger(slo.TriggerEngineAbort, "overhead probe", gateHorizon) == nil {
+				tb.Fatal("recorder produced no bundle")
+			}
 		}
 		if i == 0 || elapsed < best {
 			best = elapsed
@@ -57,10 +66,14 @@ func TestTelemetryOverheadGate(t *testing.T) {
 		t.Skip("set E3_OVERHEAD_GATE=1 (make overhead) to run the wall-clock gate")
 	}
 	// Warm caches (first run pays lazy init for both configs alike).
-	timeDemo(t, func() *telemetry.Tracer { return nil }, 1)
+	timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) { return nil, nil }, 1)
 
-	off := timeDemo(t, func() *telemetry.Tracer { return nil }, 5)
-	on := timeDemo(t, func() *telemetry.Tracer { return telemetry.NewRing(4096) }, 5)
+	off := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) { return nil, nil }, 5)
+	// The observed config is the full live-serving stack: ring tracer,
+	// per-request attribution fold, and an armed flight recorder.
+	on := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) {
+		return telemetry.NewRing(4096), slo.NewAttribution(slo.DefaultTopK)
+	}, 5)
 
 	bound := off*(1+maxOverheadFrac) + slackMS
 	overheadPct := 0.0

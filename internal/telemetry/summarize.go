@@ -45,6 +45,16 @@ func (l LaneSummary) Mean() float64 {
 	return l.Total / float64(l.Count)
 }
 
+// WaitSummary is the queue-wait distribution ahead of one split: the
+// batcher queue for split 0, the merge (fusion) queue for later splits.
+type WaitSummary struct {
+	Split int
+	Count int
+	// P50, P90, P99, and Max are nearest-rank percentiles of the wait
+	// durations (seconds).
+	P50, P90, P99, Max float64
+}
+
 // Summary is what e3-trace reports about a trace: the timeline horizon,
 // per-split occupancy, and the overhead lanes.
 type Summary struct {
@@ -56,6 +66,10 @@ type Summary struct {
 	QueueWait LaneSummary
 	Transfer  LaneSummary
 	Fuse      LaneSummary
+	// Waits is the per-split queue-wait percentile table: split 0 is the
+	// dynamic batcher's queue (KindQueueWait spans); split s>0 is the
+	// merge queue feeding that split (its KindFuse spans).
+	Waits []WaitSummary
 }
 
 // Horizon is the trace's virtual-time extent.
@@ -78,6 +92,7 @@ func Summarize(spans []Span) Summary {
 	}
 	splits := make(map[int]*splitAcc)
 	gpuTracks := make(map[string]bool)
+	waitBy := make(map[int][]float64)
 	for _, s := range spans {
 		if s.Start < sum.Start {
 			sum.Start = s.Start
@@ -101,12 +116,14 @@ func Summarize(spans []Span) Summary {
 		case KindQueueWait:
 			sum.QueueWait.Count++
 			sum.QueueWait.Total += s.Duration()
+			waitBy[0] = append(waitBy[0], s.Duration())
 		case KindTransfer:
 			sum.Transfer.Count++
 			sum.Transfer.Total += s.Duration()
 		case KindFuse:
 			sum.Fuse.Count++
 			sum.Fuse.Total += s.Duration()
+			waitBy[s.Stage] = append(waitBy[s.Stage], s.Duration())
 		}
 	}
 	sum.GPUTracks = len(gpuTracks)
@@ -142,7 +159,38 @@ func Summarize(spans []Span) Summary {
 		}
 		sum.Splits = append(sum.Splits, ss)
 	}
+	waitSplits := make([]int, 0, len(waitBy))
+	for st := range waitBy {
+		waitSplits = append(waitSplits, st)
+	}
+	sort.Ints(waitSplits)
+	for _, st := range waitSplits {
+		durs := waitBy[st]
+		sort.Float64s(durs)
+		sum.Waits = append(sum.Waits, WaitSummary{
+			Split: st,
+			Count: len(durs),
+			P50:   nearestRank(durs, 0.50),
+			P90:   nearestRank(durs, 0.90),
+			P99:   nearestRank(durs, 0.99),
+			Max:   durs[len(durs)-1],
+		})
+	}
 	return sum
+}
+
+// nearestRank is the nearest-rank percentile of an ascending-sorted
+// non-empty slice: the smallest value with at least p of the mass at or
+// below it.
+func nearestRank(sorted []float64, p float64) float64 {
+	idx := int(p*float64(len(sorted))+0.999999) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Print renders the summary as the aligned text e3-trace -summarize
@@ -163,6 +211,13 @@ func (s Summary) Print(w io.Writer) {
 		s.Transfer.Count, s.Transfer.Total, s.Transfer.Mean()*1e3)
 	fmt.Fprintf(w, "  fusion:     n=%d total=%.3fs mean=%.1fms\n",
 		s.Fuse.Count, s.Fuse.Total, s.Fuse.Mean()*1e3)
+	if len(s.Waits) > 0 {
+		fmt.Fprintln(w, "  queue-wait percentiles (split 0 = batcher queue, split s>0 = merge queue):")
+		for _, ws := range s.Waits {
+			fmt.Fprintf(w, "    split %-3d n=%-7d p50=%.2fms p90=%.2fms p99=%.2fms max=%.2fms\n",
+				ws.Split, ws.Count, ws.P50*1e3, ws.P90*1e3, ws.P99*1e3, ws.Max*1e3)
+		}
+	}
 }
 
 // formatBatchHist renders "1:12 4:3 8:960" with sizes ascending.

@@ -58,6 +58,35 @@ func TestSummarize(t *testing.T) {
 	if sum.Fuse.Count != 1 || !approx(sum.Fuse.Total, 4.5) {
 		t.Fatalf("fuse lane = %+v", sum.Fuse)
 	}
+
+	// Per-split queue-wait percentiles: split 0 folds the batcher-queue
+	// spans (durations 1 and 3), split 1 its merge-queue span (4.5).
+	if len(sum.Waits) != 2 {
+		t.Fatalf("got %d wait rows, want 2: %+v", len(sum.Waits), sum.Waits)
+	}
+	w0 := sum.Waits[0]
+	if w0.Split != 0 || w0.Count != 2 || !approx(w0.P50, 1) || !approx(w0.P90, 3) || !approx(w0.P99, 3) || !approx(w0.Max, 3) {
+		t.Fatalf("split-0 waits = %+v", w0)
+	}
+	w1 := sum.Waits[1]
+	if w1.Split != 1 || w1.Count != 1 || !approx(w1.P50, 4.5) || !approx(w1.P99, 4.5) {
+		t.Fatalf("split-1 waits = %+v", w1)
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.50, 5}, {0.90, 9}, {0.99, 10}, {1.0, 10}, {0.01, 1}} {
+		if got := nearestRank(sorted, tc.p); got != tc.want {
+			t.Fatalf("nearestRank(p=%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := nearestRank([]float64{7}, 0.5); got != 7 {
+		t.Fatalf("single-element percentile = %v, want 7", got)
+	}
 }
 
 func TestSummarizeEmpty(t *testing.T) {
@@ -93,6 +122,8 @@ func TestSummaryPrint(t *testing.T) {
 		"8:2",         // split-0 batch histogram
 		"queue-wait:", // lanes present
 		"mean=2000.0ms",
+		"queue-wait percentiles",
+		"p99=3000.00ms", // split-0 batcher-queue tail
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("summary output missing %q:\n%s", want, out)

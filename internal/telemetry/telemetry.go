@@ -51,6 +51,10 @@ const (
 	// "control-plane" track, always paired with a KindReplan span at the
 	// same instant).
 	KindPlanCache
+	// KindSLOBurn marks a scheduling window whose error-budget burn rate
+	// crossed the configured threshold (zero-duration span on the
+	// "control-plane" track; Batch carries the window index).
+	KindSLOBurn
 )
 
 // String names the kind; it doubles as the Chrome trace "cat" field.
@@ -68,6 +72,8 @@ func (k Kind) String() string {
 		return "replan"
 	case KindPlanCache:
 		return "plan-cache"
+	case KindSLOBurn:
+		return "slo-burn"
 	}
 	return fmt.Sprintf("kind(%d)", k)
 }
@@ -87,6 +93,8 @@ func KindFromString(s string) (Kind, bool) {
 		return KindReplan, true
 	case "plan-cache":
 		return KindPlanCache, true
+	case "slo-burn":
+		return KindSLOBurn, true
 	}
 	return 0, false
 }
@@ -270,6 +278,16 @@ func (t *Tracer) Replan(window int, at float64) {
 // Perfetto and in span queries.
 func (t *Tracer) PlanCacheHit(window int, at float64) {
 	t.Record(Span{Track: "control-plane", Kind: KindPlanCache,
+		Start: at, End: at, Stage: -1, Batch: window})
+}
+
+// SLOBurn records an error-budget burn-rate threshold crossing in
+// scheduling window w: a zero-duration span on the "control-plane" track,
+// next to the window's replan instants, so budget breaches are visible
+// against the GPU occupancy timelines. Batch carries the window index;
+// Stage is -1 (not split work).
+func (t *Tracer) SLOBurn(window int, at float64) {
+	t.Record(Span{Track: "control-plane", Kind: KindSLOBurn,
 		Start: at, End: at, Stage: -1, Batch: window})
 }
 
