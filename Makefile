@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate slogate
+.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate slogate flamegate
 
-verify: build vet lintgate test race audit replan overhead plangate simgate slogate
+verify: build vet lintgate test race audit replan overhead plangate simgate slogate flamegate
 	@echo "verify: all checks passed"
 
 build:
@@ -38,7 +38,7 @@ test:
 # loop; -race keeps the single-goroutine discipline honest at runtime
 # where the eventloop analyzer can only check structure.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/ ./internal/slo/
+	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/ ./internal/slo/ ./internal/flame/
 
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
@@ -78,6 +78,15 @@ simgate:
 # gate — because the checks are deterministic and fast.
 slogate:
 	$(GO) test ./internal/slo/ -run 'TestSLOGate' -v
+
+# Compute-profiler gate: the flame fold must account for every device's
+# busy and idle time exactly (zero integer-nanosecond residual against
+# the utilization ledger), the same seed must produce byte-identical
+# folded output regardless of planner worker count, and the
+# serial-vs-pipeline diff must be non-empty. Always on — deterministic
+# virtual-time checks, no timing.
+flamegate:
+	$(GO) test ./internal/flame/ -run 'TestFlameGate|TestFlameAccountsLedgerExactlyAcrossSeedsAndRunners' -v
 
 # Planner and data-plane microbenchmarks (cost-table build, reference vs
 # memoized search, engine heap churn, batcher flush, traced runner path).

@@ -1,0 +1,153 @@
+package main
+
+// Flame-profiling entry points: -flame-out/-flame-folded/-flame-pprof run
+// the demo workload under the virtual-time compute profiler and export the
+// fold; -flame-diff compares two exported JSON profiles. The deeper
+// drill-down UI (top/tree/focus views) lives in cmd/e3-prof.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"e3/internal/experiments"
+	"e3/internal/flame"
+)
+
+// writeFlameArtifacts exports one profile in whichever of the three
+// formats were requested (empty paths are skipped).
+func writeFlameArtifacts(prof *flame.Profile, outJSON, outFolded, outPprof string) error {
+	if outJSON != "" {
+		f, err := os.Create(outJSON)
+		if err != nil {
+			return err
+		}
+		err = prof.WriteJSON(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote flame profile (JSON) to %s\n", outJSON)
+	}
+	if outFolded != "" {
+		if err := os.WriteFile(outFolded, prof.Folded(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote flame profile (folded stacks) to %s\n", outFolded)
+	}
+	if outPprof != "" {
+		f, err := os.Create(outPprof)
+		if err != nil {
+			return err
+		}
+		err = prof.WritePprof(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote flame profile (pprof) to %s — inspect with `go tool pprof %s`\n", outPprof, outPprof)
+	}
+	return nil
+}
+
+// runFlameDemo profiles one demo run (pipeline or the §5.8.7 Serial
+// runner on the same seed and plan), exports the fold, and fails if the
+// profile does not reconcile exactly against the utilization ledger.
+func runFlameDemo(runner, outJSON, outFolded, outPprof string) int {
+	fl := flame.NewProfiler(0)
+	var (
+		err  error
+		stat flame.ReconcileStat
+	)
+	switch runner {
+	case "pipeline":
+		r, coll, _, e := experiments.RunProfiledDemo(nil, nil, fl, demoHorizon)
+		if e != nil {
+			err = e
+		} else {
+			stat = fl.Verify(coll.Util)
+			err = r.Err()
+		}
+	case "serial":
+		r, coll, _, e := experiments.RunProfiledSerialDemo(fl, demoHorizon)
+		if e != nil {
+			err = e
+		} else {
+			stat = fl.Verify(coll.Util)
+			err = r.Err()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "e3-bench: -flame-runner must be pipeline or serial (got %q)\n", runner)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	prof := fl.Profile()
+	if werr := writeFlameArtifacts(prof, outJSON, outFolded, outPprof); werr != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", werr)
+		return 1
+	}
+	fmt.Printf("flame: %s runner, %d stacks, busy %.3fs, bubble %.3fs over %d devices\n",
+		runner, len(prof.Stacks), float64(prof.BusyNanos())/1e9, float64(prof.BubbleNanos())/1e9, stat.Devices)
+	fmt.Printf("flame reconcile: residual %dns over %d devices — %s\n",
+		stat.Residual, stat.Devices, map[bool]string{true: "exact", false: "MISMATCH"}[stat.OK()])
+	if !stat.OK() {
+		fmt.Fprintln(os.Stderr, "e3-bench: flame profile failed exact reconciliation against the ledger")
+		return 1
+	}
+	return 0
+}
+
+// readFlameProfile loads a -flame-out JSON artifact.
+func readFlameProfile(path string) (*flame.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return flame.ReadProfile(f)
+}
+
+// runFlameDiff compares two exported JSON profiles ("a.json,b.json") and
+// prints signed per-stack deltas ranked by |GPU-time moved|.
+func runFlameDiff(arg string) int {
+	parts := strings.Split(arg, ",")
+	if len(parts) != 2 {
+		fmt.Fprintln(os.Stderr, "e3-bench: -flame-diff wants two comma-separated profile paths (a.json,b.json)")
+		return 2
+	}
+	a, err := readFlameProfile(parts[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	b, err := readFlameProfile(parts[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	d := flame.Diff(a, b)
+	fmt.Printf("flame diff: A=%s (%.3fs) vs B=%s (%.3fs); %.3fs of GPU-time moved\n",
+		parts[0], float64(d.ATotalNanos)/1e9, parts[1], float64(d.BTotalNanos)/1e9,
+		float64(d.MovedNanos)/1e9)
+	const top = 20
+	for i, e := range d.Entries {
+		if i >= top {
+			fmt.Printf("  ... %d more stacks changed\n", len(d.Entries)-top)
+			break
+		}
+		fmt.Printf("  %+12.6fs  (a %10.6fs -> b %10.6fs)  %s\n",
+			float64(e.DeltaNanos)/1e9, float64(e.ANanos)/1e9, float64(e.BNanos)/1e9,
+			strings.Join(flame.SplitStack(e.Stack), ";"))
+	}
+	if len(d.Entries) == 0 {
+		fmt.Println("  profiles are identical")
+	}
+	return 0
+}

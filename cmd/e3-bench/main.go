@@ -19,7 +19,9 @@ import (
 	"os"
 	"time"
 
+	"e3/internal/bench"
 	"e3/internal/experiments"
+	"e3/internal/flame"
 	"e3/internal/forecast"
 	"e3/internal/replan"
 	"e3/internal/slo"
@@ -41,6 +43,11 @@ func main() {
 	attrOut := flag.String("attr-out", "", "with -windows: write the per-request latency-attribution dump (component totals, per-stage compute, top-k slowest breakdowns) to FILE")
 	sloTarget := flag.Float64("slo-target", slo.DefaultTarget, "with -windows: SLO attainment target the error budget is tracked against")
 	burnThreshold := flag.Float64("burn-threshold", slo.DefaultBurnThreshold, "with -windows: burn-rate alert threshold (1 = burning exactly the budget)")
+	flameOut := flag.String("flame-out", "", "run under the virtual-time compute profiler and write the JSON flame profile to FILE (with -windows: profile of the whole replan run); exits nonzero unless the profile reconciles exactly")
+	flameFolded := flag.String("flame-folded", "", "like -flame-out but write collapsed-stack text (flamegraph.pl / speedscope input)")
+	flamePprof := flag.String("flame-pprof", "", "like -flame-out but write a gzip pprof profile.proto (`go tool pprof FILE`)")
+	flameRunner := flag.String("flame-runner", "pipeline", "runner for the flame demo run: pipeline or serial (§5.8.7 phase-synchronized baseline)")
+	flameDiff := flag.String("flame-diff", "", "compare two -flame-out JSON profiles (\"a.json,b.json\") and print signed per-stack GPU-time deltas ranked by |time moved|")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "e3-bench: unknown format %q\n", *format)
@@ -54,6 +61,10 @@ func main() {
 		return
 	}
 
+	if *flameDiff != "" {
+		os.Exit(runFlameDiff(*flameDiff))
+	}
+
 	if *planBench != "" {
 		os.Exit(runPlanBench(*planBench))
 	}
@@ -63,7 +74,12 @@ func main() {
 	}
 
 	if *windows > 0 {
-		os.Exit(runReplan(*windows, *auditRun, *benchOut, *traceOut, *bundleOnFailure, *attrOut, *sloTarget, *burnThreshold))
+		os.Exit(runReplan(*windows, *auditRun, *benchOut, *traceOut, *bundleOnFailure, *attrOut, *sloTarget, *burnThreshold,
+			*flameOut, *flameFolded, *flamePprof))
+	}
+
+	if *flameOut != "" || *flameFolded != "" || *flamePprof != "" {
+		os.Exit(runFlameDemo(*flameRunner, *flameOut, *flameFolded, *flamePprof))
 	}
 
 	if *traceOut != "" || *benchOut != "" {
@@ -258,17 +274,17 @@ func exportBench(path string) error {
 		out.TelemetryOverheadPct = (on - off) / off * 100
 	}
 
-	f, err := os.Create(path)
+	env, err := bench.Wrap("traced-demo", experiments.DemoSeed,
+		&bench.TraceParams{HorizonS: demoHorizon, AvgRate: experiments.DemoAvgRate, Batch: experiments.DemoBatch},
+		map[string]float64{
+			"throughput_rps":         out.ThroughputRPS,
+			"p99_ms":                 out.P99MS,
+			"telemetry_overhead_pct": out.TelemetryOverheadPct,
+		}, out)
 	if err != nil {
 		return err
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := bench.WriteFile(path, env); err != nil {
 		return err
 	}
 	fmt.Printf("wrote benchmark stats to %s (throughput %.1f req/s, p99 %.1fms, telemetry overhead %.1f%%)\n",
@@ -306,7 +322,36 @@ type replanReport struct {
 	SLOTarget      float64 `json:"slo_target"`
 	BudgetBreaches int     `json:"budget_breaches"`
 
+	// Flame profiling of the whole replan run (only with -flame-*): the
+	// exact-reconcile verdict plus each window's own busy/bubble time
+	// (deltas of the cumulative boundary snapshots).
+	FlameReconcile *flame.ReconcileStat `json:"flame_reconcile,omitempty"`
+	FlameWindows   []flameWindowStat    `json:"flame_windows,omitempty"`
+
 	PerWindow []replan.WindowStat `json:"per_window"`
+}
+
+// flameWindowStat is one window's own compute, from differencing
+// consecutive cumulative flame snapshots at window boundaries.
+type flameWindowStat struct {
+	Window      int   `json:"window"`
+	BusyNanos   int64 `json:"busy_nanos"`
+	BubbleNanos int64 `json:"bubble_nanos"`
+}
+
+// flameWindowStats turns the replan loop's cumulative per-boundary
+// snapshots into per-window deltas.
+func flameWindowStats(snaps []*flame.Profile) []flameWindowStat {
+	out := make([]flameWindowStat, 0, len(snaps))
+	var prevBusy, prevBubble int64
+	for i, pr := range snaps {
+		busy, bubble := pr.BusyNanos(), pr.BubbleNanos()
+		out = append(out, flameWindowStat{
+			Window: i, BusyNanos: busy - prevBusy, BubbleNanos: bubble - prevBubble,
+		})
+		prevBusy, prevBubble = busy, bubble
+	}
+	return out
 }
 
 // runReplan drives the windowed predict→plan→serve→observe loop on the
@@ -315,7 +360,8 @@ type replanReport struct {
 // fatal (the `make verify` gate). bundlePath arms the flight recorder and
 // dumps its bundle when any trigger fires; attrPath writes the
 // per-request latency-attribution dump.
-func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, attrPath string, sloTarget, burnThreshold float64) int {
+func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, attrPath string, sloTarget, burnThreshold float64,
+	flameOut, flameFolded, flamePprof string) int {
 	var tr *telemetry.Tracer
 	if tracePath != "" {
 		tr = telemetry.New()
@@ -325,6 +371,11 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, at
 	cfg.Attr = attr
 	cfg.SLOTarget = sloTarget
 	cfg.BurnThreshold = burnThreshold
+	var fl *flame.Profiler
+	if flameOut != "" || flameFolded != "" || flamePprof != "" {
+		fl = flame.NewProfiler(0)
+		cfg.Flame = fl
+	}
 	var rec *slo.Recorder
 	if bundlePath != "" {
 		// The recorder needs a span ring to snapshot; give the run one
@@ -437,6 +488,15 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, at
 		}
 		fmt.Printf("wrote attribution dump to %s\n", attrPath)
 	}
+	if fl != nil {
+		if werr := writeFlameArtifacts(fl.Profile(), flameOut, flameFolded, flamePprof); werr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", werr)
+			return 1
+		}
+		fmt.Printf("flame reconcile: residual %dns over %d devices — %s\n",
+			res.FlameStat.Residual, res.FlameStat.Devices,
+			map[bool]string{true: "exact", false: "MISMATCH"}[res.FlameStat.OK()])
+	}
 	if benchPath != "" {
 		out := replanReport{
 			Experiment:             "replan-loop (BERT-Base DeeBERT, V100x8, easy mix 0.9->0.3)",
@@ -463,19 +523,24 @@ func runReplan(windows int, auditGate bool, benchPath, tracePath, bundlePath, at
 		for _, d := range res.Diffs.Items() {
 			out.PlanDiffs = append(out.PlanDiffs, d.String())
 		}
-		f, ferr := os.Create(benchPath)
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
-			return 1
+		if fl != nil {
+			stat := res.FlameStat
+			out.FlameReconcile = &stat
+			out.FlameWindows = flameWindowStats(res.FlameWindows)
 		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		ferr = enc.Encode(out)
-		if cerr := f.Close(); ferr == nil {
-			ferr = cerr
+		env, werr := bench.Wrap("replan-loop", out.Seed,
+			&bench.TraceParams{Windows: windows, WindowDurS: out.WindowDurS, AvgRate: experiments.DemoAvgRate, Batch: experiments.DemoBatch},
+			map[string]float64{
+				"replans":            float64(res.Replans),
+				"plan_changes":       float64(res.PlanChanges),
+				"forecast_mae_arima": res.MeanForecastMAE,
+				"budget_breaches":    float64(res.Budget.Breaches()),
+			}, out)
+		if werr == nil {
+			werr = bench.WriteFile(benchPath, env)
 		}
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "e3-bench:", ferr)
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", werr)
 			return 1
 		}
 		fmt.Printf("wrote replan stats to %s\n", benchPath)

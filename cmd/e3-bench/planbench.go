@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"e3/internal/bench"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/gpu"
@@ -204,16 +204,13 @@ func runPlanBench(path string) int {
 	fmt.Printf("%-18s memo %8.2fms (searched %d) — %.1fx faster than the reference at the OLD default size\n",
 		"large(20c/5s)", largeMS, rep.LargeSearched, rep.LargeVsOldDefault)
 
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "e3-bench:", err)
-		return 1
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	err = enc.Encode(rep)
-	if cerr := f.Close(); err == nil {
-		err = cerr
+	env, err := bench.Wrap("plan-bench", 0, nil, map[string]float64{
+		"large_search_ms":           rep.LargeSearchMS,
+		"large_vs_old_default_ref":  rep.LargeVsOldDefault,
+		"large_candidates_searched": float64(rep.LargeSearched),
+	}, rep)
+	if err == nil {
+		err = bench.WriteFile(path, env)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "e3-bench:", err)

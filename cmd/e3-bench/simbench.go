@@ -1,12 +1,12 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"e3/internal/bench"
 	"e3/internal/experiments"
 	"e3/internal/sim"
 )
@@ -199,12 +199,17 @@ func runSimBench(outPath string) int {
 		return 1
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "e3-bench:", err)
-		return 1
+	env, err := bench.Wrap("sim-bench", 0,
+		&bench.TraceParams{HorizonS: rep.Trace.HorizonS, AvgRate: rep.Trace.Rate},
+		map[string]float64{
+			"events_per_sec":      rep.Trace.EventsPerS,
+			"allocs_per_event":    rep.Trace.AllocsPerEv,
+			"speedup_vs_baseline": rep.SpeedupVsBaseline,
+		}, rep)
+	if err == nil {
+		err = bench.WriteFile(outPath, env)
 	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "e3-bench:", err)
 		return 1
 	}

@@ -11,7 +11,8 @@
 //	GET  /v1/plan
 //	GET  /v1/stats
 //	GET  /v1/trace        (recent spans of the boot-time simulated run)
-//	GET  /v1/health       (readiness: plan, replan loop, audit, SLO budget)
+//	GET  /v1/flame        (virtual-time compute profile of the boot run; ?format=json|folded|pprof)
+//	GET  /v1/health       (readiness: plan, replan loop, audit, SLO budget, flame reconcile)
 //	GET  /v1/debug/bundle (flight-recorder diagnostic bundle)
 //	GET  /metrics         (Prometheus text exposition)
 //	GET  /healthz
@@ -29,6 +30,7 @@ import (
 
 	"e3/internal/cliutil"
 	"e3/internal/cluster"
+	"e3/internal/flame"
 	"e3/internal/forecast"
 	"e3/internal/optimizer"
 	"e3/internal/profile"
@@ -148,12 +150,20 @@ func main() {
 		// and warms the telemetry the live /metrics and /v1/trace endpoints
 		// expose.
 		attr := slo.NewAttribution(slo.DefaultTopK)
-		rep, coll, err := serving.ObservedPlan(clus, m, plan, workload.Mix(*easy),
-			plan.Goodput, 10.0, sloDur.Seconds(), 1, tr, attr)
+		fl := flame.NewProfiler(0)
+		rep, coll, err := serving.ProfiledPlan(clus, m, plan, workload.Mix(*easy),
+			plan.Goodput, 10.0, sloDur.Seconds(), 1, tr, attr, fl)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "e3-serve: boot run failed:", err)
 			os.Exit(1)
 		}
+		// Expose the boot run's virtual-time compute profile (where the
+		// fleet's GPU-seconds went) via /v1/flame; the exact-reconcile
+		// verdict also rides on /v1/health.
+		flStat := fl.Verify(coll.Util)
+		api.AttachFlame(fl.Profile(), flStat)
+		log.Printf("e3-serve: flame profile: %d devices reconciled, residual %dns (ok=%v)",
+			flStat.Devices, flStat.Residual, flStat.OK())
 		// When no replan loop armed the recorder, arm it with the boot
 		// run's state so /v1/debug/bundle can dump it on a later trigger.
 		if recorder.Ledger == nil {

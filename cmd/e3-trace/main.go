@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 
+	"e3/internal/flame"
 	"e3/internal/slo"
 	"e3/internal/telemetry"
 	"e3/internal/trace"
@@ -95,7 +96,11 @@ func summarizeChrome(path string) error {
 	if err != nil {
 		return err
 	}
-	telemetry.Summarize(spans).Print(os.Stdout)
+	// Replaying the spans through the flame classifier differentiates the
+	// summary's idle time into the bubble taxonomy (queue-starved /
+	// transfer-blocked / fuse-blocked / drained / idle shares per split).
+	prof := flame.FromSpans(spans)
+	telemetry.Summarize(spans).PrintWithTaxonomy(os.Stdout, flame.SummarizeBubbles(prof))
 	return nil
 }
 

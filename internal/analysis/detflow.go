@@ -92,6 +92,7 @@ var detflowScope = map[string]bool{
 	"e3/internal/telemetry":   true,
 	"e3/internal/replan":      true,
 	"e3/internal/slo":         true,
+	"e3/internal/flame":       true,
 	"e3/internal/optimizer":   true,
 	"e3/internal/forecast":    true,
 	"e3/internal/ee":          true,

@@ -49,6 +49,7 @@ var eventLoopScope = []string{
 	"e3/internal/telemetry",
 	"e3/internal/replan",
 	"e3/internal/slo",
+	"e3/internal/flame",
 }
 
 func runEventLoop(pass *Pass) {

@@ -87,6 +87,19 @@ type Result struct {
 	// UsefulFLOPs is the model compute performed (excludes ramp checks),
 	// for utilization accounting.
 	UsefulFLOPs float64
+	// RampTime is the share of Duration spent on early-exit machinery:
+	// ramp-head kernels, exit-check synchronization, batch reforms.
+	RampTime float64
+	// PadTime is the share of Duration attributable to samples riding a
+	// compiled split past their exit layer (E3's padding waste): each
+	// layer's compute is charged pro rata to the samples whose exit point
+	// already passed. It is a counterfactual attribution — Duration itself
+	// is unchanged by it.
+	PadTime float64
+
+	// padHist is reusable scratch for the pad attribution: exit counts per
+	// layer offset within the split (see RunSplitInto).
+	padHist []int
 }
 
 // RunSegment executes layers [from, to] (1-based, inclusive) of m over the
@@ -137,6 +150,7 @@ func RunSegment(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.S
 			continue
 		}
 		t += rampCheckTime(spec, rampFLOPs, active) * slowdown
+		res.RampTime += rampCheckTime(spec, rampFLOPs, active) * slowdown
 
 		exited := 0
 		for i, e := range exitAt {
@@ -149,6 +163,7 @@ func RunSegment(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu.S
 		active -= exited
 		if exited > 0 && active > 0 && k < to {
 			t += (ReformOverhead + float64(active)*ReformPerSample) * slowdown
+			res.RampTime += (ReformOverhead + float64(active)*ReformPerSample) * slowdown
 		}
 	}
 
@@ -196,6 +211,8 @@ func RunSplitInto(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu
 	res.Duration = 0
 	res.HandoffDelay = 0
 	res.UsefulFLOPs = 0
+	res.RampTime = 0
+	res.PadTime = 0
 	res.Completions = res.Completions[:0]
 	res.Survivors = res.Survivors[:0]
 	if len(batch) == 0 {
@@ -204,31 +221,58 @@ func RunSplitInto(m *ee.EEModel, from, to int, batch []workload.Sample, spec gpu
 	b := len(batch)
 	rampFLOPs := m.RampFLOPs()
 
-	t := 0.0
-	for k := from; k <= to; k++ {
-		layer := m.Base.Layers[k-1]
-		t += spec.LayerTimeW(layer.FLOPs, layer.WeightBytes, b) * slowdown
-		res.UsefulFLOPs += layer.FLOPs * float64(b)
-		if m.HasRampAfter(k) || k == L {
-			// Inline ramp head: kernels only, decision deferred.
-			t += (spec.LayerTime(rampFLOPs, b) + 2*spec.LaunchOverhead) * slowdown
+	// Partition exits up front (the decision is a pure function of the
+	// sample, so applying it before or after the time loop is equivalent)
+	// and histogram them by layer offset: padHist[0] counts samples already
+	// past their exit on entry, padHist[k-from+1] counts exits after layer
+	// k. The time loop turns this into the pad-waste attribution.
+	span := to - from + 2
+	if cap(res.padHist) < span {
+		res.padHist = make([]int, span) //e3:alloc one-time scratch grow; reused across calls once capacity covers the widest segment
+	} else {
+		res.padHist = res.padHist[:span]
+		for i := range res.padHist {
+			res.padHist[i] = 0
 		}
 	}
-	res.Duration = t
-
-	// The boundary sync applies all deferred exit decisions; it runs on
-	// the host after the device frees, so it lands in HandoffDelay.
-	handoff := (SyncBase + float64(b)*SyncPerSample) * slowdown
 	exited := 0
 	for _, s := range batch {
 		e := m.ExitLayerFor(s.Difficulty)
 		if e <= to {
 			res.Completions = append(res.Completions, Completion{Sample: s, ExitLayer: e})
 			exited++
+			j := e - from + 1
+			if j < 0 {
+				j = 0
+			}
+			res.padHist[j]++
 		} else {
 			res.Survivors = append(res.Survivors, s)
 		}
 	}
+
+	t := 0.0
+	dead := res.padHist[0]
+	for k := from; k <= to; k++ {
+		layer := m.Base.Layers[k-1]
+		t += spec.LayerTimeW(layer.FLOPs, layer.WeightBytes, b) * slowdown
+		res.UsefulFLOPs += layer.FLOPs * float64(b)
+		if dead > 0 {
+			// Charge the layer pro rata to riders whose exit already passed.
+			res.PadTime += spec.LayerTimeW(layer.FLOPs, layer.WeightBytes, b) * slowdown * (float64(dead) / float64(b))
+		}
+		if m.HasRampAfter(k) || k == L {
+			// Inline ramp head: kernels only, decision deferred.
+			t += (spec.LayerTime(rampFLOPs, b) + 2*spec.LaunchOverhead) * slowdown
+			res.RampTime += (spec.LayerTime(rampFLOPs, b) + 2*spec.LaunchOverhead) * slowdown
+		}
+		dead += res.padHist[k-from+1]
+	}
+	res.Duration = t
+
+	// The boundary sync applies all deferred exit decisions; it runs on
+	// the host after the device frees, so it lands in HandoffDelay.
+	handoff := (SyncBase + float64(b)*SyncPerSample) * slowdown
 	if exited > 0 && len(res.Survivors) > 0 {
 		handoff += (ReformOverhead + float64(len(res.Survivors))*ReformPerSample) * slowdown
 	}

@@ -4,6 +4,7 @@ import (
 	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
+	"e3/internal/flame"
 	"e3/internal/gpu"
 	"e3/internal/model"
 	"e3/internal/optimizer"
@@ -25,13 +26,22 @@ const (
 	tracedSeed    = 424242
 )
 
-// RunObservedDemo plans the demo setting and replays it through the E3
-// pipeline with the given tracer and per-request attribution attached end
-// to end (either may be nil; both nil measures the unobserved baseline).
-// The returned report has the tracer's counters and the attribution's
-// breakdown checks reconciled against the ledger; horizon is virtual
+// DemoSeed and DemoAvgRate export the demo setting's workload parameters
+// for report envelopes and flame artifacts that describe demo runs.
+const (
+	DemoSeed    int64   = tracedSeed
+	DemoAvgRate float64 = tracedAvgRate
+	DemoBatch   int     = tracedBatch
+)
+
+// RunProfiledDemo plans the demo setting and replays it through the E3
+// pipeline with the given tracer, per-request attribution, and compute
+// profiler attached end to end (any may be nil; all nil measures the
+// unobserved baseline). The returned report has the tracer's counters,
+// the attribution's breakdown checks, and the flame fold's exact
+// busy/idle accounting reconciled against the ledger; horizon is virtual
 // seconds of bursty arrivals.
-func RunObservedDemo(tr *telemetry.Tracer, attr *slo.Attribution, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+func RunProfiledDemo(tr *telemetry.Tracer, attr *slo.Attribution, fl *flame.Profiler, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
 	base := model.BERTBase()
 	dee := ee.NewDeeBERT(base, 0.4)
 	dist := mix80()
@@ -42,13 +52,43 @@ func RunObservedDemo(tr *telemetry.Tracer, attr *slo.Attribution, horizon float6
 		return nil, nil, optimizer.Plan{}, err
 	}
 	arr := trace.Bursty(trace.DefaultBursty(tracedAvgRate), horizon, tracedSeed)
-	rep, coll, err := serving.ObservedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+	rep, coll, err := serving.ProfiledOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
 		return scheduler.NewPipeline(eng, mk(), dee, plan, coll)
-	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, tr, attr)
+	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, tr, attr, fl)
 	if err != nil {
 		return nil, nil, optimizer.Plan{}, err
 	}
 	return rep, coll, plan, nil
+}
+
+// RunProfiledSerialDemo replays the same demo workload and plan through
+// the phase-synchronized Serial runner (§5.8.7) with the compute profiler
+// attached — the other half of the serial-vs-pipeline flame diff: same
+// seed, same plan, different runner, so every delta in the profile is the
+// runner's doing.
+func RunProfiledSerialDemo(fl *flame.Profiler, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+	base := model.BERTBase()
+	dee := ee.NewDeeBERT(base, 0.4)
+	dist := mix80()
+	mk := func() *cluster.Cluster { return cluster.Homogeneous(gpu.V100, 8) }
+
+	plan, err := planE3(mk(), dee, dist, tracedBatch, defaultSLO, nil)
+	if err != nil {
+		return nil, nil, optimizer.Plan{}, err
+	}
+	arr := trace.Bursty(trace.DefaultBursty(tracedAvgRate), horizon, tracedSeed)
+	rep, coll, err := serving.ProfiledOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+		return scheduler.NewSerial(eng, mk(), dee, plan, coll), nil
+	}, base.NumLayers(), arr, dist, plan.Latency, defaultSLO, tracedBatch, tracedSeed, nil, nil, fl)
+	if err != nil {
+		return nil, nil, optimizer.Plan{}, err
+	}
+	return rep, coll, plan, nil
+}
+
+// RunObservedDemo is RunProfiledDemo without compute profiling.
+func RunObservedDemo(tr *telemetry.Tracer, attr *slo.Attribution, horizon float64) (*audit.Report, *scheduler.Collector, optimizer.Plan, error) {
+	return RunProfiledDemo(tr, attr, nil, horizon)
 }
 
 // RunTracedDemo is RunObservedDemo without per-request attribution.

@@ -1,0 +1,40 @@
+package flame_test
+
+// Fuzz the folded-frame escaping: frames containing the ';' separator,
+// the folded format's ' ' weight delimiter, newlines, or backslashes must
+// survive a JoinStack → SplitStack round trip, and the joined form must
+// never contain an unescaped separator that would corrupt column parsing.
+
+import (
+	"strings"
+	"testing"
+
+	"e3/internal/flame"
+)
+
+func FuzzFrameEscapeRoundTrip(f *testing.F) {
+	f.Add("useful", "dev:V100-0")
+	f.Add("model:a;b", "with space")
+	f.Add("back\\slash", "new\nline")
+	f.Add("", ";; ;\n\\")
+	f.Add("trailing\\", "\\;")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		frames := []string{a, b}
+		joined := flame.JoinStack(frames)
+
+		// The folded line format is "<stack> <weight>": an unescaped space
+		// or newline inside the stack would corrupt it.
+		if strings.ContainsAny(joined, " \n") {
+			t.Fatalf("joined stack contains unescaped space/newline: %q", joined)
+		}
+		got := flame.SplitStack(joined)
+		if len(got) != len(frames) {
+			t.Fatalf("round trip changed frame count: %q -> %q (from %q)", frames, got, joined)
+		}
+		for i := range frames {
+			if got[i] != frames[i] {
+				t.Fatalf("frame %d: %q -> %q (joined %q)", i, frames[i], got[i], joined)
+			}
+		}
+	})
+}

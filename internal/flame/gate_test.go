@@ -1,0 +1,106 @@
+package flame_test
+
+// Flamegate: the deterministic guarantees `make flamegate` enforces.
+// Always on (no env gate) because every check is seeded virtual-time
+// simulation — no wall-clock timing, no flakiness budget.
+//
+//  1. Same seed ⇒ byte-identical folded output across runs.
+//  2. The fold reconciles exactly (zero integer-nanosecond residual)
+//     against the utilization ledger.
+//  3. Folded output is independent of planner worker count (the replan
+//     loop profiled with 1 worker matches 4 workers byte for byte).
+//  4. The serial-vs-pipeline diff on the same seed and plan is non-empty
+//     — the §5.8.7 comparison the paper's bubble analysis rides on.
+
+import (
+	"bytes"
+	"testing"
+
+	"e3/internal/experiments"
+	"e3/internal/flame"
+	"e3/internal/forecast"
+	"e3/internal/replan"
+)
+
+const gateHorizon = 2.0
+
+// profiledDemoFold runs the pipeline demo under the profiler and returns
+// the folded bytes plus the reconcile verdict.
+func profiledDemoFold(t *testing.T) ([]byte, flame.ReconcileStat) {
+	t.Helper()
+	fl := flame.NewProfiler(0)
+	rep, coll, _, err := experiments.RunProfiledDemo(nil, nil, fl, gateHorizon)
+	if err != nil {
+		t.Fatalf("profiled demo: %v", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	return fl.Profile().Folded(), fl.Verify(coll.Util)
+}
+
+func TestFlameGateDeterministicAndExact(t *testing.T) {
+	a, statA := profiledDemoFold(t)
+	b, statB := profiledDemoFold(t)
+	if !statA.OK() || !statB.OK() {
+		t.Fatalf("flame reconcile not exact: run A residual %dns, run B residual %dns",
+			statA.Residual, statB.Residual)
+	}
+	if statA.Devices == 0 {
+		t.Fatal("flame reconcile checked no devices")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different folded output:\nA: %d bytes\nB: %d bytes", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("folded output is empty")
+	}
+}
+
+// replanFold profiles the drifting replan demo at a given planner worker
+// count and returns the folded bytes plus the loop's reconcile verdict.
+func replanFold(t *testing.T, workers int) ([]byte, flame.ReconcileStat) {
+	t.Helper()
+	fl := flame.NewProfiler(0)
+	cfg := replan.DriftingDemo(4, forecast.MethodARIMA, nil)
+	cfg.PlannerWorkers = workers
+	cfg.Flame = fl
+	res, err := replan.Run(cfg)
+	if err != nil {
+		t.Fatalf("replan (workers=%d): %v", workers, err)
+	}
+	if err := res.Report.Err(); err != nil {
+		t.Fatalf("replan audit (workers=%d): %v", workers, err)
+	}
+	if len(res.FlameWindows) != 4 {
+		t.Fatalf("want 4 per-window flame snapshots, got %d", len(res.FlameWindows))
+	}
+	return fl.Profile().Folded(), res.FlameStat
+}
+
+func TestFlameGateWorkerCountInvariant(t *testing.T) {
+	one, statOne := replanFold(t, 1)
+	four, statFour := replanFold(t, 4)
+	if !statOne.OK() || !statFour.OK() {
+		t.Fatalf("replan flame reconcile not exact: workers=1 residual %dns, workers=4 residual %dns",
+			statOne.Residual, statFour.Residual)
+	}
+	if !bytes.Equal(one, four) {
+		t.Fatal("planner worker count changed the folded flame output")
+	}
+}
+
+func TestFlameGateSerialVsPipelineDiff(t *testing.T) {
+	flP := flame.NewProfiler(0)
+	if _, _, _, err := experiments.RunProfiledDemo(nil, nil, flP, gateHorizon); err != nil {
+		t.Fatalf("pipeline demo: %v", err)
+	}
+	flS := flame.NewProfiler(0)
+	if _, _, _, err := experiments.RunProfiledSerialDemo(flS, gateHorizon); err != nil {
+		t.Fatalf("serial demo: %v", err)
+	}
+	d := flame.Diff(flP.Profile(), flS.Profile())
+	if d.MovedNanos == 0 || len(d.Entries) == 0 {
+		t.Fatal("serial vs pipeline diff is empty; the runners cannot have identical compute profiles")
+	}
+}

@@ -254,6 +254,28 @@ func (u *UtilizationTracker) Register(name string) {
 	}
 }
 
+// Resources returns the tracked resource names, sorted.
+func (u *UtilizationTracker) Resources() []string {
+	out := make([]string, 0, len(u.busy))
+	for name := range u.busy {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BusySpans returns one resource's raw busy intervals as [start, end]
+// pairs in recording order — the ledger side of the flame profiler's
+// exact reconcile. The returned slice is a copy.
+func (u *UtilizationTracker) BusySpans(name string) [][2]float64 {
+	spans := u.busy[name]
+	out := make([][2]float64, len(spans))
+	for i, s := range spans {
+		out[i] = [2]float64{s.start, s.end}
+	}
+	return out
+}
+
 // PerResource returns each resource's busy fraction over [start, end].
 func (u *UtilizationTracker) PerResource(end float64) map[string]float64 {
 	horizon := end - u.since

@@ -16,6 +16,7 @@ import (
 	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
+	"e3/internal/flame"
 	"e3/internal/forecast"
 	"e3/internal/gpu"
 	"e3/internal/model"
@@ -70,6 +71,13 @@ type Config struct {
 	// the run; its checks reconcile into the final audit report. Nil
 	// disables attribution.
 	Attr *slo.Attribution
+
+	// Flame optionally folds the whole run's execution into a virtual-time
+	// compute profile, snapshotted at every window boundary (plan switches
+	// show up as profile shifts across Result.FlameWindows) and reconciled
+	// exactly against the utilization ledger at end of run. Nil disables
+	// profiling.
+	Flame *flame.Profiler
 
 	// SLOTarget is the attainment target the error budget accrues
 	// against; BurnThreshold is the window burn rate that counts as a
@@ -159,6 +167,13 @@ type Result struct {
 	// Budget is the run's error-budget tracker (never nil: budget
 	// accounting always runs).
 	Budget *slo.Budget
+
+	// FlameWindows holds one cumulative profile snapshot per window (only
+	// when a profiler was attached): FlameWindows[w] covers the run through
+	// window w's end, so window w's own compute is the Diff of snapshots
+	// w−1 and w. FlameStat is the end-of-run exact-reconcile outcome.
+	FlameWindows []*flame.Profile
+	FlameStat    flame.ReconcileStat
 }
 
 // Run executes the windowed loop. The engine, collector, ledger, and
@@ -183,6 +198,7 @@ func Run(cfg Config) (*Result, error) {
 	coll.Audit = audit.NewLedger()
 	coll.Trace = cfg.Tracer
 	coll.Attr = cfg.Attr
+	coll.Flame = cfg.Flame
 	gen := workload.NewGenerator(mix(0), cfg.Seed)
 	gen.SetAudit(coll.Audit)
 	gen.SetTrace(cfg.Tracer)
@@ -357,13 +373,21 @@ func Run(cfg Config) (*Result, error) {
 			PlanCacheHit:  cacheHit,
 			Budget:        wb,
 		})
+		if cfg.Flame != nil {
+			// Snapshot the cumulative profile at the window boundary; the
+			// fold is pure, so this is cheap and does not disturb the
+			// accumulator.
+			res.FlameWindows = append(res.FlameWindows, cfg.Flame.Profile())
+		}
 		coll.ResetWindow()
 	}
 
 	coll.Good.CloseAt(eng.Now())
+	cfg.Flame.CloseAt(eng.Now())
 	rep := coll.AuditReport()
 	cfg.Tracer.Reconcile(rep)
 	cfg.Attr.Reconcile(rep)
+	res.FlameStat = cfg.Flame.Reconcile(rep, coll.Util)
 	if !rep.OK() {
 		cfg.Recorder.Trigger(slo.TriggerAuditViolation, rep.Violations[0], eng.Now())
 	}

@@ -8,6 +8,7 @@ package scheduler
 
 import (
 	"e3/internal/audit"
+	"e3/internal/flame"
 	"e3/internal/metrics"
 	"e3/internal/profile"
 	"e3/internal/slo"
@@ -55,6 +56,12 @@ type Collector struct {
 	// it the same boundary events they feed the ledger; the collector
 	// records the terminal events so its counters reconcile with both.
 	Attr *slo.Attribution
+
+	// Flame is an optional virtual-time compute profiler fed the same
+	// boundary events (nil disables it at zero cost). Runners fold every
+	// executed batch, transfer, and fusion wait into it; its totals
+	// reconcile exactly against Util.
+	Flame *flame.Profiler
 
 	// exitCounts[k] counts samples that exited after layer k (1-based).
 	exitCounts []int

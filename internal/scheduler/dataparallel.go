@@ -40,6 +40,7 @@ func NewDataParallel(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, devi
 		inst.rearm = func() { d.runNext(inst) }
 		d.instances = append(d.instances, inst)
 		coll.Util.Register(clus.Devices[idx].ID)
+		coll.Flame.Register(clus.Devices[idx].ID, string(clus.Devices[idx].Kind))
 	}
 	return d, nil
 }
@@ -91,6 +92,8 @@ func (d *DataParallel) runNext(inst *instance) {
 	d.coll.Util.AddBusy(dev.ID, now, res.Duration)
 	d.coll.Trace.Execute(dev.ID, string(dev.Kind), 0, len(batch), now, now+res.Duration)
 	d.coll.Attr.Executed(0, batch, now, now+res.Duration)
+	d.coll.Flame.Execute(dev.ID, string(dev.Kind), d.model.Name, 0, 1, L,
+		now, now+res.Duration, res.RampTime, res.PadTime)
 	if d.ewmaBatch == 0 {
 		d.ewmaBatch = res.Duration
 	} else {

@@ -108,6 +108,7 @@ func NewPipeline(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, plan opt
 			used[devIdx] = true
 			st.instances = append(st.instances, &instance{device: devIdx})
 			coll.Util.Register(clus.Devices[devIdx].ID)
+			coll.Flame.Register(clus.Devices[devIdx].ID, string(clus.Devices[devIdx].Kind))
 		}
 		if len(st.instances) != sp.Replicas {
 			return nil, fmt.Errorf("scheduler: need %d %s devices for split [%d,%d], cluster has fewer free",
@@ -256,6 +257,8 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 	p.coll.Util.AddBusy(dev.ID, now, res.Duration)
 	p.coll.Trace.Execute(dev.ID, string(dev.Kind), si, len(batch), now, now+res.Duration)
 	p.coll.Attr.Executed(si, batch, now, now+res.Duration)
+	p.coll.Flame.Execute(dev.ID, string(dev.Kind), p.model.Name, si, st.split.From, st.split.To,
+		now, now+res.Duration, res.RampTime, res.PadTime)
 
 	// Straggler detection (§3.3): compare against the planned time for
 	// this exact batch size — partial batches have high fixed costs, so
@@ -297,6 +300,7 @@ func (p *Pipeline) runNext(si int, inst *instance) {
 		survivors := res.Survivors
 		xferStart := now + res.Duration + res.HandoffDelay
 		p.coll.Trace.Transfer(si, len(survivors), xferStart, xferStart+comm)
+		p.coll.Flame.Transfer(si+1, xferStart, xferStart+comm)
 		p.eng.After(res.Duration+res.HandoffDelay+comm, func() {
 			p.receive(si+1, survivors, target)
 		})
@@ -351,6 +355,7 @@ func (p *Pipeline) fuseAndDispatch(si, n int) {
 	headAt := st.merge[0].at
 	batch, dest := st.takeMerged(n, p.pool)
 	p.coll.Trace.Fuse(si, len(batch), headAt, p.eng.Now())
+	p.coll.Flame.Fuse(si, headAt, p.eng.Now())
 	p.dispatchMerged(si, dest, batch)
 }
 

@@ -37,6 +37,7 @@ func NewSerial(eng *sim.Engine, clus *cluster.Cluster, m *ee.EEModel, plan optim
 	s := &Serial{eng: eng, clus: clus, model: plan.ExecModel(m), plan: plan, coll: coll}
 	for _, d := range clus.Devices {
 		coll.Util.Register(d.ID)
+		coll.Flame.Register(d.ID, string(d.Kind))
 	}
 	return s
 }
@@ -121,6 +122,8 @@ func (s *Serial) runRound(round [][]workload.Sample) {
 			s.coll.Util.AddBusy(dev.ID, now+elapsed, res.Duration)
 			s.coll.Trace.Execute(dev.ID, string(dev.Kind), si, hi-lo, now+elapsed, now+elapsed+res.Duration)
 			s.coll.Attr.Executed(si, pool[lo:hi], now+elapsed, now+elapsed+res.Duration)
+			s.coll.Flame.Execute(dev.ID, string(dev.Kind), s.model.Name, si, sp.From, sp.To,
+				now+elapsed, now+elapsed+res.Duration, res.RampTime, res.PadTime)
 			// Every completion of this batch lands at the end of the phase;
 			// one event finishes them all in slice order, matching the
 			// per-sample events this replaces.

@@ -4,6 +4,7 @@ import (
 	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
+	"e3/internal/flame"
 	"e3/internal/optimizer"
 	"e3/internal/scheduler"
 	"e3/internal/sim"
@@ -13,25 +14,28 @@ import (
 	"e3/internal/workload"
 )
 
-// ObservedOpenLoop replays an arrival trace through a dynamic batcher with
-// the lifecycle ledger — and, when non-nil, the span tracer and the
-// per-request attribution — wired end to end (generator → batcher →
-// runner → collector), then verifies conservation: every minted sample
-// must be completed or dropped exactly once, with monotone timestamps and
-// classified drop reasons, the tracer's event counts must reconcile with
-// the ledger's totals, and every attributed breakdown must sum to its
-// request's end-to-end latency (both Reconcile hooks fold mismatches into
-// the report). The runner is built by mk against the engine and a
-// ledger-carrying collector. It returns the verified report and the
-// collector for further inspection.
-func ObservedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+// ProfiledOpenLoop replays an arrival trace through a dynamic batcher with
+// the lifecycle ledger — and, when non-nil, the span tracer, the
+// per-request attribution, and the virtual-time compute profiler — wired
+// end to end (generator → batcher → runner → collector), then verifies
+// conservation: every minted sample must be completed or dropped exactly
+// once, with monotone timestamps and classified drop reasons, the
+// tracer's event counts must reconcile with the ledger's totals, every
+// attributed breakdown must sum to its request's end-to-end latency, and
+// the flame fold must account for every device's busy and idle time
+// exactly (all Reconcile hooks fold mismatches into the report). The
+// runner is built by mk against the engine and a ledger-carrying
+// collector. It returns the verified report and the collector for further
+// inspection.
+func ProfiledOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
 	layers int, arr trace.Arrivals, dist workload.Dist, estService, sloDeadline float64, batch int, seed int64,
-	tr *telemetry.Tracer, attr *slo.Attribution) (*audit.Report, *scheduler.Collector, error) {
+	tr *telemetry.Tracer, attr *slo.Attribution, fl *flame.Profiler) (*audit.Report, *scheduler.Collector, error) {
 	eng := sim.NewEngine()
 	coll := scheduler.NewCollector(layers, sloDeadline, 0)
 	coll.Audit = audit.NewLedger()
 	coll.Trace = tr
 	coll.Attr = attr
+	coll.Flame = fl
 	r, err := mk(eng, coll)
 	if err != nil {
 		return nil, nil, err
@@ -46,10 +50,19 @@ func ObservedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (sched
 		// violated when in-flight samples were abandoned mid-event-loop.
 		return nil, c, err
 	}
+	fl.CloseAt(eng.Now())
 	rep := c.AuditReport()
 	tr.Reconcile(rep)
 	attr.Reconcile(rep)
+	fl.Reconcile(rep, c.Util)
 	return rep, c, nil
+}
+
+// ObservedOpenLoop is ProfiledOpenLoop without compute profiling.
+func ObservedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error),
+	layers int, arr trace.Arrivals, dist workload.Dist, estService, sloDeadline float64, batch int, seed int64,
+	tr *telemetry.Tracer, attr *slo.Attribution) (*audit.Report, *scheduler.Collector, error) {
+	return ProfiledOpenLoop(mk, layers, arr, dist, estService, sloDeadline, batch, seed, tr, attr, nil)
 }
 
 // TracedOpenLoop is ObservedOpenLoop without per-request attribution.
@@ -75,10 +88,20 @@ func AuditedOpenLoop(mk func(eng *sim.Engine, coll *scheduler.Collector) (schedu
 func ObservedPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
 	avgRate, horizon, sloDeadline float64, seed int64,
 	tr *telemetry.Tracer, attr *slo.Attribution) (*audit.Report, *scheduler.Collector, error) {
+	return ProfiledPlan(clus, m, plan, dist, avgRate, horizon, sloDeadline, seed, tr, attr, nil)
+}
+
+// ProfiledPlan is ObservedPlan with the virtual-time compute profiler
+// attached as well: the profiler ends up holding the boot run's compute
+// profile for the live /v1/flame endpoint, reconciled exactly against the
+// run's utilization ledger.
+func ProfiledPlan(clus *cluster.Cluster, m *ee.EEModel, plan optimizer.Plan, dist workload.Dist,
+	avgRate, horizon, sloDeadline float64, seed int64,
+	tr *telemetry.Tracer, attr *slo.Attribution, fl *flame.Profiler) (*audit.Report, *scheduler.Collector, error) {
 	arr := trace.Bursty(trace.DefaultBursty(avgRate), horizon, seed)
-	return ObservedOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
+	return ProfiledOpenLoop(func(eng *sim.Engine, coll *scheduler.Collector) (scheduler.Runner, error) {
 		return scheduler.NewPipeline(eng, clus, m, plan, coll)
-	}, m.Base.NumLayers(), arr, dist, plan.Latency, sloDeadline, plan.Batch, seed, tr, attr)
+	}, m.Base.NumLayers(), arr, dist, plan.Latency, sloDeadline, plan.Batch, seed, tr, attr, fl)
 }
 
 // TracedPlan is ObservedPlan without per-request attribution.

@@ -25,6 +25,15 @@ type HealthAudit struct {
 	Violations int  `json:"violations"`
 }
 
+// HealthFlame is the last flame reconciliation's verdict: whether the
+// compute profile accounted for every device's busy and idle time exactly
+// (zero integer-nanosecond residual against the utilization ledger).
+type HealthFlame struct {
+	OK            bool  `json:"ok"`
+	Devices       int   `json:"devices"`
+	ResidualNanos int64 `json:"residual_nanos"`
+}
+
 // HealthReplan reports the replan loop's state.
 type HealthReplan struct {
 	// Alive marks a control plane whose loop has completed at least one
@@ -43,6 +52,7 @@ type HealthResponse struct {
 	PlanGPUs   int    `json:"plan_gpus"`
 
 	Audit  *HealthAudit        `json:"audit,omitempty"`
+	Flame  *HealthFlame        `json:"flame,omitempty"`
 	Replan *HealthReplan       `json:"replan,omitempty"`
 	Budget *slo.BudgetSnapshot `json:"slo_budget,omitempty"`
 }
@@ -67,6 +77,14 @@ func (a *API) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
 			Violations: len(a.auditRep.Violations),
 		}
 		ready = ready && resp.Audit.OK
+	}
+	if a.flameStat.Checked {
+		resp.Flame = &HealthFlame{
+			OK:            a.flameStat.OK(),
+			Devices:       a.flameStat.Devices,
+			ResidualNanos: a.flameStat.Residual,
+		}
+		ready = ready && resp.Flame.OK
 	}
 	if a.cp != nil {
 		// A provenance-only control plane (static boot plan, no replan

@@ -91,6 +91,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Plan-predicted latency of live inference requests.", "", a.inferLat, true)
 
 	a.writeControlPlaneMetrics(w)
+	a.writeFlameMetrics(w)
 
 	if a.tracer == nil {
 		return

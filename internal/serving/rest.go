@@ -8,6 +8,7 @@ import (
 
 	"e3/internal/audit"
 	"e3/internal/ee"
+	"e3/internal/flame"
 	"e3/internal/metrics"
 	"e3/internal/optimizer"
 	"e3/internal/slo"
@@ -44,6 +45,11 @@ type API struct {
 	// recorder holds the flight recorder for /v1/debug/bundle (nil when
 	// none is attached).
 	recorder *slo.Recorder
+	// flameProf/flameStat hold the boot-time traced run's virtual-time
+	// compute profile and its exact-reconcile verdict for /v1/flame and
+	// /v1/health (nil/zero when the server booted without profiling).
+	flameProf *flame.Profile
+	flameStat flame.ReconcileStat
 }
 
 // NewAPI builds the handler set for a planned model.
@@ -63,6 +69,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/v1/stats", a.handleStats)
 	mux.HandleFunc("/v1/trace", a.handleTrace)
 	mux.HandleFunc("/v1/health", a.handleHealthV1)
+	mux.HandleFunc("/v1/flame", a.handleFlameV1)
 	mux.HandleFunc("/v1/debug/bundle", a.handleDebugBundle)
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	return mux

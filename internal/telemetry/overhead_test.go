@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"e3/internal/experiments"
+	"e3/internal/flame"
 	"e3/internal/slo"
 	"e3/internal/telemetry"
 )
@@ -32,19 +33,26 @@ const maxOverheadFrac = 0.5
 // slackMS absorbs absolute timer noise on runs this short.
 const slackMS = 10.0
 
-func timeDemo(tb testing.TB, mk func() (*telemetry.Tracer, *slo.Attribution), rounds int) float64 {
+func timeDemo(tb testing.TB, mk func() (*telemetry.Tracer, *slo.Attribution, *flame.Profiler), rounds int) float64 {
 	tb.Helper()
 	best := 0.0
 	for i := 0; i < rounds; i++ {
-		tr, attr := mk()
+		tr, attr, fl := mk()
 		start := time.Now()
-		rep, coll, _, err := experiments.RunObservedDemo(tr, attr, gateHorizon)
+		rep, coll, _, err := experiments.RunProfiledDemo(tr, attr, fl, gateHorizon)
 		elapsed := time.Since(start).Seconds() * 1e3
 		if err != nil {
 			tb.Fatal(err)
 		}
 		if err := rep.Err(); err != nil {
 			tb.Fatalf("demo failed its audit: %v", err)
+		}
+		if fl != nil {
+			// Profiling rides the gate only if it also stays correct: the
+			// fold must reconcile exactly while being timed.
+			if stat := fl.Verify(coll.Util); !stat.OK() {
+				tb.Fatalf("flame reconcile residual %dns during overhead run", stat.Residual)
+			}
 		}
 		if attr != nil {
 			// The observed config also pays for a flight-recorder trigger,
@@ -66,13 +74,14 @@ func TestTelemetryOverheadGate(t *testing.T) {
 		t.Skip("set E3_OVERHEAD_GATE=1 (make overhead) to run the wall-clock gate")
 	}
 	// Warm caches (first run pays lazy init for both configs alike).
-	timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) { return nil, nil }, 1)
+	timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution, *flame.Profiler) { return nil, nil, nil }, 1)
 
-	off := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) { return nil, nil }, 5)
+	off := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution, *flame.Profiler) { return nil, nil, nil }, 5)
 	// The observed config is the full live-serving stack: ring tracer,
-	// per-request attribution fold, and an armed flight recorder.
-	on := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution) {
-		return telemetry.NewRing(4096), slo.NewAttribution(slo.DefaultTopK)
+	// per-request attribution fold, an armed flight recorder, and the
+	// virtual-time compute profiler.
+	on := timeDemo(t, func() (*telemetry.Tracer, *slo.Attribution, *flame.Profiler) {
+		return telemetry.NewRing(4096), slo.NewAttribution(slo.DefaultTopK), flame.NewProfiler(0)
 	}, 5)
 
 	bound := off*(1+maxOverheadFrac) + slackMS

@@ -193,17 +193,65 @@ func nearestRank(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
+// BubbleShares decomposes one split's idle (bubble) time by cause, in
+// virtual nanoseconds. It is produced by the flame fold
+// (flame.SummarizeBubbles); the type lives here so the summary printer
+// can consume it without an import cycle.
+type BubbleShares struct {
+	QueueStarvedNanos    int64
+	TransferBlockedNanos int64
+	FuseBlockedNanos     int64
+	DrainedNanos         int64
+	IdleNanos            int64
+}
+
+// Total is the split's classified bubble time.
+func (b BubbleShares) Total() int64 {
+	return b.QueueStarvedNanos + b.TransferBlockedNanos + b.FuseBlockedNanos +
+		b.DrainedNanos + b.IdleNanos
+}
+
+// share is a cause's fraction of the split's bubble time, as a percentage.
+func (b BubbleShares) share(part int64) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(t)
+}
+
 // Print renders the summary as the aligned text e3-trace -summarize
 // emits.
-func (s Summary) Print(w io.Writer) {
+func (s Summary) Print(w io.Writer) { s.PrintWithTaxonomy(w, nil) }
+
+// PrintWithTaxonomy renders the summary table; when a bubble taxonomy is
+// supplied (per-split cause decomposition from the flame fold), the
+// undifferentiated bubble(s) column is replaced by the cause-share
+// columns starv/xfer/fuse/drain/idle (% of that split's idle time).
+func (s Summary) PrintWithTaxonomy(w io.Writer, bubbles map[int]BubbleShares) {
 	fmt.Fprintf(w, "trace: horizon %.3fs (t=%.3f..%.3f), %d GPU track(s)\n",
 		s.Horizon(), s.Start, s.End, s.GPUTracks)
-	fmt.Fprintf(w, "  %-6s %-8s %-8s %-6s %-10s %-7s %-9s %-10s %s\n",
-		"split", "batches", "samples", "gpus", "busy(s)", "util", "bubble(s)", "meanbatch", "batch histogram")
+	if bubbles == nil {
+		fmt.Fprintf(w, "  %-6s %-8s %-8s %-6s %-10s %-7s %-9s %-10s %s\n",
+			"split", "batches", "samples", "gpus", "busy(s)", "util", "bubble(s)", "meanbatch", "batch histogram")
+	} else {
+		fmt.Fprintf(w, "  %-6s %-8s %-8s %-6s %-10s %-7s %-7s %-6s %-6s %-6s %-6s %-10s %s\n",
+			"split", "batches", "samples", "gpus", "busy(s)", "util",
+			"starv%", "xfer%", "fuse%", "drain%", "idle%", "meanbatch", "batch histogram")
+	}
 	for _, sp := range s.Splits {
-		fmt.Fprintf(w, "  %-6d %-8d %-8d %-6d %-10.3f %-7.1f %-9.3f %-10.2f %s\n",
-			sp.Stage, sp.Batches, sp.Samples, sp.Tracks, sp.Busy,
-			sp.Util*100, sp.Bubble, sp.MeanBatch, formatBatchHist(sp.BatchHist))
+		if bubbles == nil {
+			fmt.Fprintf(w, "  %-6d %-8d %-8d %-6d %-10.3f %-7.1f %-9.3f %-10.2f %s\n",
+				sp.Stage, sp.Batches, sp.Samples, sp.Tracks, sp.Busy,
+				sp.Util*100, sp.Bubble, sp.MeanBatch, formatBatchHist(sp.BatchHist))
+			continue
+		}
+		b := bubbles[sp.Stage]
+		fmt.Fprintf(w, "  %-6d %-8d %-8d %-6d %-10.3f %-7.1f %-7.1f %-6.1f %-6.1f %-6.1f %-6.1f %-10.2f %s\n",
+			sp.Stage, sp.Batches, sp.Samples, sp.Tracks, sp.Busy, sp.Util*100,
+			b.share(b.QueueStarvedNanos), b.share(b.TransferBlockedNanos),
+			b.share(b.FuseBlockedNanos), b.share(b.DrainedNanos), b.share(b.IdleNanos),
+			sp.MeanBatch, formatBatchHist(sp.BatchHist))
 	}
 	fmt.Fprintf(w, "  queue-wait: n=%d total=%.3fs mean=%.1fms\n",
 		s.QueueWait.Count, s.QueueWait.Total, s.QueueWait.Mean()*1e3)
