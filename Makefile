@@ -6,9 +6,9 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate slogate flamegate
+.PHONY: verify build vet lint lintgate test race audit replan overhead bench plangate simgate slogate flamegate fleetgate
 
-verify: build vet lintgate test race audit replan overhead plangate simgate slogate flamegate
+verify: build vet lintgate test race audit replan overhead plangate simgate slogate flamegate fleetgate
 	@echo "verify: all checks passed"
 
 build:
@@ -38,7 +38,7 @@ test:
 # loop; -race keeps the single-goroutine discipline honest at runtime
 # where the eventloop analyzer can only check structure.
 race:
-	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/ ./internal/slo/ ./internal/flame/
+	$(GO) test -race ./internal/sim/ ./internal/exec/ ./internal/serving/ ./internal/scheduler/ ./internal/optimizer/ ./internal/slo/ ./internal/flame/ ./internal/fleet/
 
 # End-to-end conservation audit: exits nonzero on any lifecycle violation.
 audit:
@@ -87,6 +87,17 @@ slogate:
 # virtual-time checks, no timing.
 flamegate:
 	$(GO) test ./internal/flame/ -run 'TestFlameGate|TestFlameAccountsLedgerExactlyAcrossSeedsAndRunners' -v
+
+# Fleet tier gate: at every worker count the parallel sharded run must
+# reproduce the serial reference byte-for-byte (per-shard ledger digests
+# + router decision log), and aggregate events/s at 8 shards must beat 1
+# shard by a factor scaled to the cores present (>=4x on 8+ cores; the
+# timing half skips loudly on 1 core, where no speedup is physically
+# possible). Env-gated like the other timing gates; the 20-seed
+# determinism property tests always run under plain `go test ./...`.
+# `e3-bench -fleet-bench BENCH_PR10.json` writes the full scaling curve.
+fleetgate:
+	E3_FLEET_GATE=1 $(GO) test ./internal/fleet/ -run TestFleetGate -v
 
 # Planner and data-plane microbenchmarks (cost-table build, reference vs
 # memoized search, engine heap churn, batcher flush, traced runner path).

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"e3/internal/bench"
+	"e3/internal/fleet"
+)
+
+// fleetPoint is one shard count on the scaling curve.
+type fleetPoint struct {
+	Shards     int     `json:"shards"`
+	Workers    int     `json:"workers"`
+	Minted     int     `json:"minted"`
+	Served     int     `json:"served"`
+	DoorShed   int     `json:"door_shed"`
+	Events     uint64  `json:"events"`
+	WallS      float64 `json:"wall_s"`
+	EventsPerS float64 `json:"events_per_sec"`
+	// ScalingX is this point's aggregate events/s over the 1-shard
+	// point's.
+	ScalingX float64 `json:"scaling_x"`
+	// DigestOK confirms the parallel run reproduced the serial reference
+	// (workers=1, shards in index order) byte-for-byte: every per-shard
+	// ledger digest and the router decision log.
+	DigestOK bool `json:"parallel_equals_serial"`
+}
+
+// fleetBenchReport is the machine-readable -fleet-bench payload
+// (BENCH_PR10.json).
+type fleetBenchReport struct {
+	Note       string       `json:"note"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	HorizonS   float64      `json:"horizon_virtual_s"`
+	EpochDurS  float64      `json:"epoch_dur_s"`
+	Tenants    []string     `json:"tenants"`
+	Curve      []fleetPoint `json:"curve"`
+	// DeterminismOK is the AND of every point's DigestOK.
+	DeterminismOK bool `json:"determinism_parallel_equals_serial"`
+	// ScalingAt8 is the 8-shard point's aggregate events/s over the
+	// 1-shard point's. On a multi-core host this is the ≥4x headline; on
+	// a 1-core host it degenerates to ~1x (shards serialize) and the
+	// fleetgate's timing half documents that it cannot run.
+	ScalingAt8 float64 `json:"scaling_at_8_shards"`
+}
+
+// runFleetOnce executes one fleet configuration and prints its summary.
+func runFleetOnce(shards, workers int) int {
+	cfg := fleet.DemoConfig(shards, workers)
+	start := time.Now()
+	res, err := fleet.Run(cfg)
+	wall := time.Since(start).Seconds()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	fmt.Printf("fleet: %d shard(s) x %d worker(s), %d epochs over %gs virtual\n",
+		shards, workers, res.Epochs, cfg.Horizon)
+	fmt.Printf("%-8s %-14s %-10s %-10s %-10s %-10s %s\n",
+		"replica", "gpus", "routed", "served", "violated", "dropped", "events")
+	for _, sr := range res.Shards {
+		routed, served, violated, dropped := 0, 0, 0, 0
+		for _, tr := range sr.Tenants {
+			routed += tr.Routed
+			served += tr.Served
+			violated += tr.Violations
+			dropped += tr.Dropped
+		}
+		fmt.Printf("%-8d %-14s %-10d %-10d %-10d %-10d %d\n",
+			sr.Index, sr.GPUs, routed, served, violated, dropped, sr.Events)
+	}
+	fmt.Printf("\nfront door: %d minted = %d routed + %d shed; %d events in %.2fs wall (%.0f events/s)\n",
+		res.Minted, res.Routed, res.DoorShed, res.Events, wall, float64(res.Events)/wall)
+	return 0
+}
+
+// runFleetBench measures the 1/2/4/8-shard scaling curve with a
+// parallel-vs-serial digest check at every point and writes
+// BENCH_PR10.json.
+func runFleetBench(outPath string) int {
+	rep := fleetBenchReport{
+		Note: "fleet tier: sharded parallel simulation with GPU-aware routing; " +
+			"aggregate events/s across N replica shards at N workers, with every " +
+			"parallel run checked byte-identical against its serial reference",
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		DeterminismOK: true,
+	}
+	probe := fleet.DemoConfig(1, 1)
+	rep.HorizonS, rep.EpochDurS = probe.Horizon, probe.EpochDur
+	for _, t := range probe.Tenants {
+		rep.Tenants = append(rep.Tenants, t.Name)
+	}
+
+	base := 0.0
+	for _, shards := range []int{1, 2, 4, 8} {
+		// Serial reference first: digests to compare against, run cold so
+		// the timed parallel run below owns its own caches.
+		ref, err := fleet.Run(fleet.DemoConfig(shards, 1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", err)
+			return 1
+		}
+		cfg := fleet.DemoConfig(shards, shards)
+		start := time.Now()
+		res, err := fleet.Run(cfg)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-bench:", err)
+			return 1
+		}
+		pt := fleetPoint{
+			Shards:     shards,
+			Workers:    cfg.Workers,
+			Minted:     res.Minted,
+			Served:     res.Served,
+			DoorShed:   res.DoorShed,
+			Events:     res.Events,
+			WallS:      wall,
+			EventsPerS: float64(res.Events) / wall,
+			DigestOK:   res.Digests() == ref.Digests(),
+		}
+		if shards == 1 {
+			base = pt.EventsPerS
+		}
+		if base > 0 {
+			pt.ScalingX = pt.EventsPerS / base
+		}
+		rep.DeterminismOK = rep.DeterminismOK && pt.DigestOK
+		rep.Curve = append(rep.Curve, pt)
+		fmt.Printf("fleet-bench: %d shards x %d workers — %d events in %.2fs wall (%.0f events/s, %.2fx), parallel==serial: %v\n",
+			pt.Shards, pt.Workers, pt.Events, pt.WallS, pt.EventsPerS, pt.ScalingX, pt.DigestOK)
+		if shards == 8 {
+			rep.ScalingAt8 = pt.ScalingX
+		}
+	}
+	if !rep.DeterminismOK {
+		fmt.Fprintln(os.Stderr, "e3-bench: a parallel fleet run diverged from its serial reference — determinism violation")
+		return 1
+	}
+
+	env, err := bench.Wrap("fleet-bench", probe.Seed,
+		&bench.TraceParams{HorizonS: rep.HorizonS},
+		map[string]float64{
+			"scaling_at_8_shards": rep.ScalingAt8,
+			"events_per_sec_1":    rep.Curve[0].EventsPerS,
+			"events_per_sec_8":    rep.Curve[len(rep.Curve)-1].EventsPerS,
+		}, rep)
+	if err == nil {
+		err = bench.WriteFile(outPath, env)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "e3-bench:", err)
+		return 1
+	}
+	fmt.Printf("wrote %s (scaling at 8 shards: %.2fx on GOMAXPROCS=%d)\n", outPath, rep.ScalingAt8, rep.GoMaxProcs)
+	return 0
+}

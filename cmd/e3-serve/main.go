@@ -31,6 +31,7 @@ import (
 	"e3/internal/cliutil"
 	"e3/internal/cluster"
 	"e3/internal/flame"
+	"e3/internal/fleet"
 	"e3/internal/forecast"
 	"e3/internal/optimizer"
 	"e3/internal/profile"
@@ -54,6 +55,8 @@ func main() {
 	sloTarget := flag.Float64("slo-target", slo.DefaultTarget, "SLO attainment target the error budget accrues against")
 	burnThreshold := flag.Float64("burn-threshold", slo.DefaultBurnThreshold, "window burn rate that counts as a budget breach")
 	pprofDebug := flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/ (off by default; enable only on trusted networks)")
+	fleetN := flag.Int("fleet", 0, "run the N-replica fleet demo (multi-tenant zoo, GPU-aware epoch routing) at boot and expose per-replica rows via /v1/health and e3_fleet_* series via /metrics")
+	fleetWorkers := flag.Int("fleet-workers", 0, "with -fleet: shard-runner worker count (0 = one per shard)")
 	flag.Parse()
 
 	m, err := cliutil.BuildModel(*modelName, 0.4)
@@ -185,6 +188,24 @@ func main() {
 		}
 	}
 	api.AttachRecorder(recorder)
+
+	if *fleetN > 0 {
+		// Boot-time fleet run: N replica clusters under the demo zoo,
+		// sharded in parallel with the deterministic runner, verified for
+		// conservation, then exposed read-only on /v1/health and /metrics.
+		workers := *fleetWorkers
+		if workers <= 0 {
+			workers = *fleetN
+		}
+		res, err := fleet.Run(fleet.DemoConfig(*fleetN, workers))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "e3-serve: fleet run failed:", err)
+			os.Exit(1)
+		}
+		log.Printf("e3-serve: fleet: %d replicas x %d workers, %d epochs: %d minted = %d routed + %d shed, %d events",
+			*fleetN, workers, res.Epochs, res.Minted, res.Routed, res.DoorShed, res.Events)
+		api.AttachFleet(res.Status())
+	}
 
 	handler := api.Handler()
 	if *pprofDebug {

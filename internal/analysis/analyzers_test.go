@@ -29,7 +29,8 @@ func TestLedgerPair(t *testing.T) {
 }
 
 func TestEventLoop(t *testing.T) {
-	analysistest.Run(t, "testdata/src/eventloop", analysis.EventLoop, "e3/internal/scheduler")
+	analysistest.Run(t, "testdata/src/eventloop", analysis.EventLoop,
+		"e3/internal/scheduler", "e3/internal/fleet")
 }
 
 // The interprocedural analyzers get cross-package fixtures: every
@@ -54,7 +55,7 @@ func TestErrFlow(t *testing.T) {
 
 func TestEventLoopInterproc(t *testing.T) {
 	analysistest.Run(t, "testdata/src/eventloopx", analysis.EventLoopInterproc,
-		"e3/internal/bg", "e3/internal/scheduler")
+		"e3/internal/bg", "e3/internal/scheduler", "e3/internal/fleet")
 }
 
 // TestDirectiveCheck runs the meta-analyzer together with virtualtime so
@@ -88,7 +89,7 @@ func TestScoping(t *testing.T) {
 			[]string{"e3/internal/scheduler", "e3/internal/serving"},
 			[]string{"e3/internal/metrics", "e3/internal/audit"}},
 		{analysis.EventLoop,
-			[]string{"e3/internal/sim", "e3/internal/scheduler", "e3/internal/serving", "e3/internal/telemetry"},
+			[]string{"e3/internal/sim", "e3/internal/scheduler", "e3/internal/serving", "e3/internal/telemetry", "e3/internal/fleet"},
 			[]string{"e3/internal/multi", "e3/cmd/e3-serve"}},
 	}
 	for _, c := range cases {

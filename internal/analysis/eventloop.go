@@ -50,6 +50,12 @@ var eventLoopScope = []string{
 	"e3/internal/replan",
 	"e3/internal/slo",
 	"e3/internal/flame",
+	// The fleet tier runs N event loops, but each shard's code is still
+	// loop-owned: the ONLY sanctioned concurrency is the shard runner's
+	// annotated worker pool (internal/fleet/runner.go). A goroutine
+	// leaked into per-shard loop code is exactly the bug this scope
+	// exists to catch — now at N loops instead of one.
+	"e3/internal/fleet",
 }
 
 func runEventLoop(pass *Pass) {

@@ -1,0 +1,45 @@
+// Fixture for the eventloop analyzer's fleet scope: per-shard loop code
+// is event-loop-owned even though the fleet runs many loops. A goroutine
+// leaked into a shard loop — the classic "parallelize the inject path"
+// mistake — must fail lint; the shard runner's sanctioned pool carries
+// //e3:concurrent annotations and stays clean.
+package fleet
+
+import "sync"
+
+type shard struct {
+	inbox chan int // want `channel type`
+}
+
+// badInject leaks a goroutine into a shard's loop: the injected closure
+// would race the shard's engine callbacks.
+func badInject(fn func()) {
+	go fn() // want `go statement starts a second goroutine`
+}
+
+// badFanIn merges shard results through a channel instead of the
+// barrier's index-slot discipline.
+func badFanIn(s *shard, v int) {
+	s.inbox <- v // want `channel send`
+}
+
+// badBarrier hand-rolls a barrier with an unannotated WaitGroup.
+func badBarrier() {
+	var wg sync.WaitGroup // want `sync\.WaitGroup`
+	wg.Wait()
+}
+
+// okRunnerPool is the sanctioned shard-runner shape: disjoint shards,
+// index-slot results, every worker joined before return, every
+// construct annotated.
+func okRunnerPool(shards []func()) {
+	var wg sync.WaitGroup //e3:concurrent fixture: shard pool joined before return
+	for _, s := range shards {
+		wg.Add(1)
+		go func(f func()) { //e3:concurrent fixture: shard pool joined before return
+			defer wg.Done()
+			f()
+		}(s)
+	}
+	wg.Wait()
+}

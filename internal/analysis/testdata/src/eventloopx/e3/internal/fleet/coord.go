@@ -1,0 +1,20 @@
+// Package fleet fixture for eventloop-interproc: the coordinator is
+// event-loop scope, so a call chain that reaches concurrency outside the
+// scope — say a helper that quietly spawns a goroutine per shard — is
+// flagged at the boundary call even though every edge in between is
+// construct-free.
+package fleet
+
+import "e3/internal/bg"
+
+// RouteEpoch is coordinator code; Relay is clean but reaches Fire's go
+// statement two edges down.
+func RouteEpoch(done func(), xs []int) int {
+	bg.Relay(done) // want `call from event-loop code reaches go statement at internal/bg/fire\.go:\d+ \(via fleet\.RouteEpoch → bg\.Relay → bg\.Fire\)`
+	return bg.SafeSum(xs)
+}
+
+// Advance uses the sanctioned pool — annotated constructs, clean boundary.
+func Advance(fns []func()) {
+	bg.Pooled(fns)
+}

@@ -1,0 +1,365 @@
+// Package fleet scales E3 past one cluster: N replica clusters (possibly
+// heterogeneous), each a complete single-goroutine serving stack —
+// its own sim.Engine, per-tenant dynamic batchers, pipeline runners,
+// sampled conservation ledgers, and batch pool — executed by a
+// deterministic parallel shard runner and fed by a GPU-aware router.
+//
+// Time is divided into routing epochs. At each epoch boundary the
+// coordinator (a single goroutine) mints the epoch's arrivals from
+// per-tenant Poisson streams, scores every replica from the telemetry the
+// replicas already export (queue depth, in-flight backlog, utilization,
+// SLO budget burn), routes the arrivals with a smooth weighted
+// round-robin over those scores (front-door admission shedding arrivals
+// the whole fleet is too backlogged to serve), and injects each replica's
+// share into its event loop. The shards then advance in parallel to the
+// epoch boundary — they share nothing, so one goroutine per shard is
+// safe — and barrier-synchronize before the next routing decision.
+//
+// Because routing depends only on barrier-time snapshots and each shard's
+// execution between barriers is a deterministic single-goroutine event
+// loop, the fleet result — every ledger digest, every router decision —
+// is byte-identical to a serial reference execution of the same shards in
+// index order, at any worker count. The determinism property test and
+// `make fleetgate` enforce that contract.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"e3/internal/cluster"
+	"e3/internal/ee"
+	"e3/internal/gpu"
+	"e3/internal/multi"
+	"e3/internal/sim"
+	"e3/internal/slo"
+	"e3/internal/trace"
+	"e3/internal/workload"
+)
+
+// TenantSpec is one model deployment served fleet-wide. Rate is the
+// aggregate offered load across the whole fleet; the router decides how
+// it lands on replicas.
+type TenantSpec struct {
+	Name  string
+	Model *ee.EEModel
+	Dist  workload.Dist
+	// Rate is the fleet-wide Poisson arrival rate (req/s).
+	Rate float64
+	// SLO and Batch follow the usual E3 meanings.
+	SLO   float64
+	Batch int
+}
+
+// ReplicaSpec describes one replica cluster's inventory. Replicas may be
+// heterogeneous — the router's scores absorb capacity differences.
+type ReplicaSpec struct {
+	GPUs map[gpu.Kind]int
+}
+
+// Size is the replica's device count.
+func (r ReplicaSpec) Size() int {
+	n := 0
+	for _, c := range r.GPUs {
+		n += c
+	}
+	return n
+}
+
+// describe renders the inventory deterministically (kinds sorted).
+func (r ReplicaSpec) describe() string {
+	kinds := make([]string, 0, len(r.GPUs))
+	for k := range r.GPUs {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	parts := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		parts = append(parts, fmt.Sprintf("%dx%s", r.GPUs[gpu.Kind(k)], k))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Config parameterizes a fleet run.
+type Config struct {
+	Tenants  []TenantSpec
+	Replicas []ReplicaSpec
+	// Horizon is the arrival-trace length in virtual seconds; EpochDur the
+	// routing-epoch length (both virtual).
+	Horizon  float64
+	EpochDur float64
+	Seed     int64
+	// AuditStride samples per-event ledger detail every Nth request per
+	// (replica, tenant); population totals stay exact. ≤1 = exhaustive.
+	AuditStride int64
+	// Workers bounds the shard-runner goroutines; ≤1 runs the serial
+	// reference execution (shards in index order, one goroutine).
+	Workers int
+}
+
+// validate rejects configs the build cannot honor.
+func (c Config) validate() error {
+	if len(c.Tenants) == 0 {
+		return errors.New("fleet: no tenants")
+	}
+	if len(c.Replicas) == 0 {
+		return errors.New("fleet: no replicas")
+	}
+	if c.Horizon <= 0 || c.EpochDur <= 0 {
+		return errors.New("fleet: horizon and epoch duration must be positive")
+	}
+	seen := make(map[string]bool)
+	for _, t := range c.Tenants {
+		if t.Name == "" {
+			return errors.New("fleet: tenant with empty name")
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("fleet: duplicate tenant %q", t.Name)
+		}
+		seen[t.Name] = true
+	}
+	return nil
+}
+
+// replicaTenant is one (replica, tenant) serving stack plus the routing
+// bookkeeping the coordinator reads at barriers.
+type replicaTenant struct {
+	st multi.ServingTenant
+	// capacity is the allocation's planned goodput (samples/s) — the
+	// GPU-aware half of the router's score.
+	capacity float64
+	// routed counts arrivals the router assigned to this stack.
+	routed int
+	// budget tracks per-epoch SLO burn; burn feeds the router's score.
+	budget *slo.Budget
+	// lastBurn is the burn rate ObserveWindow reported at the last barrier.
+	lastBurn float64
+}
+
+// Replica is one shard: a complete serving stack on its own engine. All
+// fields are owned by the shard's event loop; between barriers exactly
+// one goroutine touches them.
+type Replica struct {
+	Index int
+	Spec  ReplicaSpec
+	eng   *sim.Engine
+	clus  *cluster.Cluster
+	// pool recycles batch slices through this shard's batchers and
+	// pipelines only. Pools are loop-owned (see workload.BatchPool): two
+	// shards must never exchange pooled buffers, so each replica gets its
+	// own pool at build time (the ownership regression test pins this).
+	pool    *workload.BatchPool
+	tenants []*replicaTenant
+	// drained marks the final drain done (Good meters closed).
+	drained bool
+}
+
+// Engine exposes the shard's engine for diagnostics (events processed).
+func (r *Replica) Engine() *sim.Engine { return r.eng }
+
+// Pool exposes the shard-owned batch pool (ownership regression test).
+func (r *Replica) Pool() *workload.BatchPool { return r.pool }
+
+// Fleet is a built deployment: replicas plus the coordinator-owned
+// router, streams, and generators.
+type Fleet struct {
+	cfg      Config
+	replicas []*Replica
+	router   *Router
+	// streams/gens mint each tenant's fleet-wide arrivals; both are owned
+	// by the coordinator goroutine, never a shard.
+	streams []*trace.PoissonStream
+	gens    []*workload.Generator
+	// pending holds the next not-yet-consumed arrival per tenant stream
+	// (NaN-free: ok=false when the stream is exhausted).
+	pending   []float64
+	pendingOK []bool
+}
+
+// planScale returns the fraction of fleet-wide tenant demand replica r
+// must be planned to sustain: its share of the fleet's device inventory.
+func planScale(cfg Config, r int) float64 {
+	total := 0
+	for _, spec := range cfg.Replicas {
+		total += spec.Size()
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(cfg.Replicas[r].Size()) / float64(total)
+}
+
+// New builds the fleet: per replica, a multi-tenant partition of its
+// cluster (tenant demand scaled by the replica's share of the fleet's
+// inventory) deployed as full serving stacks with sampled ledgers and a
+// shard-owned batch pool. Planning that cannot sustain the scaled demand
+// retries at half the demand (twice) before failing — the router and the
+// replicas' own admission control absorb the shortfall at run time.
+func New(cfg Config) (*Fleet, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EpochDur > cfg.Horizon {
+		cfg.EpochDur = cfg.Horizon
+	}
+	f := &Fleet{cfg: cfg, router: NewRouter(len(cfg.Replicas), len(cfg.Tenants))}
+	for i, spec := range cfg.Replicas {
+		rep, err := buildReplica(cfg, i, spec)
+		if err != nil {
+			return nil, err
+		}
+		f.replicas = append(f.replicas, rep)
+	}
+	for ti, t := range cfg.Tenants {
+		// Distinct deterministic seeds per tenant so streams and
+		// difficulty draws are independent but reproducible.
+		seed := cfg.Seed + int64(ti)*1_000_003
+		f.streams = append(f.streams, trace.NewPoissonStream(t.Rate, cfg.Horizon, seed))
+		f.gens = append(f.gens, workload.NewGenerator(t.Dist, seed+7))
+		at, ok := f.streams[ti].Next()
+		f.pending = append(f.pending, at)
+		f.pendingOK = append(f.pendingOK, ok)
+	}
+	f.router.init(f)
+	return f, nil
+}
+
+// buildReplica plans and deploys one shard.
+func buildReplica(cfg Config, idx int, spec ReplicaSpec) (*Replica, error) {
+	clus := cluster.New(spec.GPUs, 2)
+	scale := planScale(cfg, idx)
+	tenants := make([]multi.Tenant, 0, len(cfg.Tenants))
+	for _, t := range cfg.Tenants {
+		tenants = append(tenants, multi.Tenant{
+			Name: t.Name, Model: t.Model, Dist: t.Dist,
+			Rate: t.Rate * scale, SLO: t.SLO, Batch: t.Batch,
+		})
+	}
+	allocs, err := planWithBackoff(clus, tenants)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %d: %w", idx, err)
+	}
+	eng := sim.NewEngine()
+	// Runaway backstop scaled to this shard's expected share of events
+	// (~2 events/request steady state, 8x headroom, 1M floor).
+	expect := 0.0
+	for _, t := range tenants {
+		expect += t.Rate * cfg.Horizon
+	}
+	eng.SetEventLimit(uint64(expect)*8 + 1_000_000)
+	pool := workload.NewBatchPool()
+	stacks, err := multi.DeployServing(eng, clus, tenants, allocs, cfg.AuditStride, pool)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: replica %d: %w", idx, err)
+	}
+	rep := &Replica{Index: idx, Spec: spec, eng: eng, clus: clus, pool: pool}
+	// DeployServing returns stacks in allocation order (demand-sorted);
+	// re-index them into config tenant order so every coordinator walk is
+	// deterministic and tenant-index addressable.
+	for _, t := range cfg.Tenants {
+		var st *multi.ServingTenant
+		for j := range stacks {
+			if stacks[j].Spec.Name == t.Name {
+				st = &stacks[j]
+				break
+			}
+		}
+		if st == nil {
+			return nil, fmt.Errorf("fleet: replica %d: tenant %q missing from deployment", idx, t.Name)
+		}
+		rep.tenants = append(rep.tenants, &replicaTenant{
+			st:       *st,
+			capacity: st.Alloc.Plan.Goodput,
+			budget:   slo.NewBudget(slo.DefaultTarget, slo.DefaultBurnThreshold),
+		})
+	}
+	return rep, nil
+}
+
+// planWithBackoff partitions a replica cluster across tenants, halving
+// every tenant's demanded rate (up to twice) when the inventory cannot
+// sustain it — a deliberately degraded plan beats refusing to serve.
+func planWithBackoff(clus *cluster.Cluster, tenants []multi.Tenant) ([]multi.Allocation, error) {
+	scaled := make([]multi.Tenant, len(tenants))
+	copy(scaled, tenants)
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		var allocs []multi.Allocation
+		allocs, err = multi.Plan(clus, scaled)
+		if err == nil {
+			return allocs, nil
+		}
+		for i := range scaled {
+			scaled[i].Rate /= 2
+		}
+	}
+	return nil, err
+}
+
+// inject schedules one tenant's routed arrivals into the shard's event
+// loop as a single self-rescheduling closure (one live event per stream,
+// as in serving.RunOpenLoopStream). The destination ledger records the
+// arrival at its virtual time, then the batcher admits or sheds it.
+// Called by the coordinator at an epoch boundary, before the shard
+// advances; samples must be sorted by arrival time (they are — routing
+// preserves stream order).
+func (r *Replica) inject(tenantIdx int, samples []workload.Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	rt := r.tenants[tenantIdx]
+	rt.routed += len(samples)
+	i := 0
+	var step func()
+	step = func() {
+		s := samples[i]
+		rt.st.Coll.Audit.Arrived(s.ID, r.eng.Now())
+		rt.st.Batcher.Arrive(s)
+		i++
+		if i < len(samples) {
+			r.eng.At(samples[i].Arrival, step)
+		}
+	}
+	r.eng.At(samples[0].Arrival, step)
+}
+
+// Advance runs the shard's event loop to the barrier time. It is the
+// unit the shard runner parallelizes; everything it touches is owned by
+// this shard.
+func (r *Replica) Advance(until float64) error {
+	return r.eng.Run(until)
+}
+
+// Drain finishes the shard after the last epoch: run the loop dry, force
+// out partial batches and merge queues, run dry again, and close the
+// goodput meters at the final clock.
+func (r *Replica) Drain() error {
+	err := r.eng.RunAll()
+	for _, rt := range r.tenants {
+		rt.st.Batcher.Flush()
+	}
+	for _, rt := range r.tenants {
+		rt.st.Pipe.FlushAll()
+	}
+	if err2 := r.eng.RunAll(); err == nil {
+		err = err2
+	}
+	for _, rt := range r.tenants {
+		rt.st.Coll.Good.CloseAt(r.eng.Now())
+	}
+	r.drained = true
+	return err
+}
+
+// Digest canonically serializes the shard's state: every tenant ledger's
+// digest in config-tenant order. Equal digests mean byte-identical shard
+// executions.
+func (r *Replica) Digest() string {
+	out := ""
+	for _, rt := range r.tenants {
+		out += "tenant " + rt.st.Spec.Name + "\n" + rt.st.Coll.Audit.Digest()
+	}
+	return out
+}

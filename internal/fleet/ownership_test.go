@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"testing"
+
+	"e3/internal/workload"
+)
+
+// TestShardPoolOwnership pins satellite-1's contract: every shard owns
+// its own BatchPool instance, and a buffer retired into one shard's pool
+// can never surface from another shard's Get. workload.BatchPool is
+// unsynchronized by design (loop-owned, like the engine heap), so
+// sharing one across parallel shards would be a data race; the fleet
+// must isolate them at construction.
+func TestShardPoolOwnership(t *testing.T) {
+	f, err := New(tinyConfig(11, 2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(f.replicas) != 2 {
+		t.Fatalf("want 2 replicas, got %d", len(f.replicas))
+	}
+	p0, p1 := f.replicas[0].Pool(), f.replicas[1].Pool()
+	if p0 == nil || p1 == nil {
+		t.Fatal("replica without a pool: pooling must be on in the fleet path")
+	}
+	if p0 == p1 {
+		t.Fatal("two shards share one BatchPool instance — cross-loop data race")
+	}
+
+	// Retire a sentinel buffer into shard 0's pool, then drain shard 1's
+	// pool completely: the sentinel's backing array must never come back
+	// from shard 1.
+	sentinel := make([]workload.Sample, 8)
+	base := &sentinel[0]
+	p0.Put(sentinel)
+	for i := 0; i < 1024; i++ {
+		got := p1.Get(8)
+		if len(got) > 0 && &got[0] == base {
+			t.Fatal("buffer Put into shard 0's pool returned by shard 1's Get")
+		}
+	}
+	// And it does come back from its own pool — the recycling works.
+	got := p0.Get(8)
+	if len(got) == 0 || &got[0] != base {
+		t.Error("sentinel buffer not recycled by its owning shard's pool")
+	}
+}
+
+// TestShardStackIsolation verifies no serving-stack component is shared
+// between shards: engines, batchers, pipelines, collectors, ledgers, and
+// pools must all be distinct instances per replica.
+func TestShardStackIsolation(t *testing.T) {
+	f, err := New(tinyConfig(12, 2))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, b := f.replicas[0], f.replicas[1]
+	if a.eng == b.eng {
+		t.Error("shards share an engine")
+	}
+	if a.pool == b.pool {
+		t.Error("shards share a batch pool")
+	}
+	for ti := range a.tenants {
+		at, bt := a.tenants[ti], b.tenants[ti]
+		if at.st.Batcher == bt.st.Batcher {
+			t.Errorf("tenant %d: shards share a batcher", ti)
+		}
+		if at.st.Pipe == bt.st.Pipe {
+			t.Errorf("tenant %d: shards share a pipeline", ti)
+		}
+		if at.st.Coll == bt.st.Coll {
+			t.Errorf("tenant %d: shards share a collector", ti)
+		}
+		if at.st.Coll.Audit == bt.st.Coll.Audit {
+			t.Errorf("tenant %d: shards share a ledger", ti)
+		}
+	}
+}

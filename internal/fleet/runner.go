@@ -1,0 +1,64 @@
+package fleet
+
+// The shard runner is the fleet tier's ONLY concurrency. Everything else
+// in this package — the router, the streams, the generators, every
+// replica's engine and serving stack — is single-goroutine by the same
+// contract the eventloop analyzer enforces across the simulator. The
+// runner may parallelize exactly one thing: advancing disjoint shards
+// between two barriers. Shards share no state (each owns its engine,
+// batchers, pipelines, ledgers, and batch pool), every worker joins
+// before the function returns, and results land in index-addressed slots
+// — so execution is byte-identical to the serial index-order walk that
+// workers<=1 performs, at any worker count.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runShards applies fn to every replica, in index order when workers<=1
+// (the serial reference execution), or via a deterministic worker pool
+// otherwise. The first error in index order is returned either way.
+func runShards(replicas []*Replica, workers int, fn func(*Replica) error) error {
+	errs := make([]error, len(replicas))
+	if workers <= 1 || len(replicas) == 1 {
+		for i, rep := range replicas {
+			errs[i] = fn(rep)
+		}
+		return firstErr(errs)
+	}
+	nw := workers
+	if nw > len(replicas) {
+		nw = len(replicas)
+	}
+	var next atomic.Int64
+	//e3:concurrent deterministic shard pool: shards are disjoint between barriers, results land in index slots, and every worker joins before return
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		//e3:concurrent worker goroutines are joined by wg.Wait below; each claims whole shards, so no simulator state is shared
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(replicas) {
+					return
+				}
+				errs[i] = fn(replicas[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr(errs)
+}
+
+// firstErr mirrors the serial walk's error semantics: the lowest-index
+// failure wins regardless of which worker hit it first.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

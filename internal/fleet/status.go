@@ -1,0 +1,37 @@
+package fleet
+
+import "e3/internal/serving"
+
+// Status summarizes the run for the serving layer's /v1/health and
+// /metrics surfaces. Conserved reflects Verify (which Run already
+// enforced for a returned Result, but the server re-derives it so an
+// unverified Result cannot present as healthy).
+func (r *Result) Status() *serving.FleetStatus {
+	fs := &serving.FleetStatus{
+		Replicas:  len(r.Shards),
+		Workers:   r.Config.Workers,
+		Epochs:    r.Epochs,
+		Minted:    r.Minted,
+		Routed:    r.Routed,
+		DoorShed:  r.DoorShed,
+		Events:    r.Events,
+		Conserved: r.Verify() == nil,
+	}
+	for _, sr := range r.Shards {
+		row := serving.FleetReplicaStatus{Index: sr.Index, GPUs: sr.GPUs, Events: sr.Events}
+		for _, tr := range sr.Tenants {
+			row.Tenants = append(row.Tenants, serving.FleetTenantStatus{
+				Tenant:     tr.Tenant,
+				Routed:     tr.Routed,
+				Served:     tr.Served,
+				Violations: tr.Violations,
+				Dropped:    tr.Dropped,
+				GoodputPS:  tr.Goodput,
+				CapacityPS: tr.Capacity,
+				BurnRate:   tr.Burn,
+			})
+		}
+		fs.Rows = append(fs.Rows, row)
+	}
+	return fs
+}

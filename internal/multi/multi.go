@@ -12,12 +12,14 @@ import (
 	"fmt"
 	"sort"
 
+	"e3/internal/audit"
 	"e3/internal/cluster"
 	"e3/internal/ee"
 	"e3/internal/gpu"
 	"e3/internal/optimizer"
 	"e3/internal/profile"
 	"e3/internal/scheduler"
+	"e3/internal/serving"
 	"e3/internal/sim"
 	"e3/internal/workload"
 )
@@ -228,6 +230,59 @@ func Deploy(eng *sim.Engine, clus *cluster.Cluster, tenants []Tenant, allocs []A
 		f.colls[a.Tenant] = coll
 	}
 	return f, nil
+}
+
+// ServingTenant is one tenant's full serving stack on a shared engine:
+// the dynamic batcher front door, the pipeline it dispatches to, and the
+// collector (with a lifecycle ledger attached) the pipeline reports into.
+// This is the multi-tenant partitioning promoted into the serving path —
+// the fleet tier builds one of these per (replica, tenant).
+type ServingTenant struct {
+	Spec    Tenant
+	Alloc   Allocation
+	Batcher *serving.Batcher
+	Pipe    *scheduler.Pipeline
+	Coll    *scheduler.Collector
+}
+
+// slackFrac is the SLO headroom the batcher reserves (paper: 20%), the
+// same value every E3 experiment uses.
+const slackFrac = 0.2
+
+// DeployServing binds allocations to complete serving stacks on one
+// engine: per tenant, a collector with a sampled conservation ledger
+// (auditStride ≤ 1 = exhaustive), a pipeline restricted to the tenant's
+// pinned devices, and a dynamic batcher in front. All tenants share the
+// given batch pool — legal because they share one event loop; the pool,
+// like the engine, is owned by that loop (a nil pool disables recycling).
+func DeployServing(eng *sim.Engine, clus *cluster.Cluster, tenants []Tenant, allocs []Allocation, auditStride int64, pool *workload.BatchPool) ([]ServingTenant, error) {
+	out := make([]ServingTenant, 0, len(allocs))
+	used := make(map[int]bool)
+	for _, a := range allocs {
+		t := tenantOf(tenants, a.Tenant)
+		if t.Name == "" {
+			return nil, fmt.Errorf("multi: allocation for unknown tenant %q", a.Tenant)
+		}
+		sub := &cluster.Cluster{Topology: clus.Topology}
+		for _, idx := range a.Devices {
+			if used[idx] {
+				return nil, fmt.Errorf("multi: device %d double-booked", idx)
+			}
+			used[idx] = true
+			sub.Devices = append(sub.Devices, clus.Devices[idx])
+		}
+		coll := scheduler.NewCollector(t.Model.Base.NumLayers(), t.SLO, eng.Now())
+		coll.Audit = audit.NewSampledLedger(auditStride)
+		pipe, err := scheduler.NewPipeline(eng, sub, t.Model, a.Plan, coll)
+		if err != nil {
+			return nil, fmt.Errorf("multi: tenant %q: %w", a.Tenant, err)
+		}
+		pipe.SetPool(pool)
+		b := serving.NewBatcher(eng, pipe, t.Batch, a.Plan.Latency, slackFrac)
+		b.SetPool(pool)
+		out = append(out, ServingTenant{Spec: t, Alloc: a, Batcher: b, Pipe: pipe, Coll: coll})
+	}
+	return out, nil
 }
 
 // Ingest routes a batch to a tenant's pipeline.

@@ -161,6 +161,14 @@ func (c *Collector) WindowBadFrac() float64 {
 	return float64(c.windowViolations) / float64(total)
 }
 
+// WindowCounts exposes the current window's served and violation
+// counters (drops are already folded into violations) so an external
+// budget accountant — the fleet router's per-epoch burn scoring — can
+// feed slo.Budget.ObserveWindow without owning the collector.
+func (c *Collector) WindowCounts() (served, violations int) {
+	return c.windowServed, c.windowViolations
+}
+
 // ResetWindow clears the exit histogram and window counters for the next
 // scheduling window while keeping cumulative serving metrics.
 func (c *Collector) ResetWindow() {

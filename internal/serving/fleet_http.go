@@ -1,0 +1,127 @@
+package serving
+
+// Fleet observability surface. The fleet tier (internal/fleet, which
+// imports serving and therefore cannot be imported back) summarizes a
+// completed fleet run into a FleetStatus; the API renders it as
+// per-replica rows in /v1/health and e3_fleet_* series on /metrics.
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// FleetTenantStatus is one (replica, tenant) stack's terminal row.
+type FleetTenantStatus struct {
+	Tenant     string  `json:"tenant"`
+	Routed     int     `json:"routed"`
+	Served     int     `json:"served"`
+	Violations int     `json:"violations"`
+	Dropped    int     `json:"dropped"`
+	GoodputPS  float64 `json:"goodput_per_sec"`
+	CapacityPS float64 `json:"capacity_per_sec"`
+	BurnRate   float64 `json:"burn_rate"`
+}
+
+// FleetReplicaStatus is one replica's row in /v1/health.
+type FleetReplicaStatus struct {
+	Index   int                 `json:"index"`
+	GPUs    string              `json:"gpus"`
+	Events  uint64              `json:"events"`
+	Tenants []FleetTenantStatus `json:"tenants"`
+}
+
+// FleetStatus summarizes a fleet run for the health and metrics
+// endpoints. Conserved reports the fleet-level invariant checks (front
+// door conserves, every ledger reconciles, everything drained); a false
+// value fails the readiness probe.
+type FleetStatus struct {
+	Replicas  int                  `json:"replicas"`
+	Workers   int                  `json:"workers"`
+	Epochs    int                  `json:"epochs"`
+	Minted    int                  `json:"minted"`
+	Routed    int                  `json:"routed"`
+	DoorShed  int                  `json:"door_shed"`
+	Events    uint64               `json:"events"`
+	Conserved bool                 `json:"conserved"`
+	Rows      []FleetReplicaStatus `json:"rows"`
+}
+
+// AttachFleet exposes a fleet run's status through /v1/health and
+// /metrics.
+func (a *API) AttachFleet(fs *FleetStatus) {
+	a.mu.Lock()
+	a.fleet = fs
+	a.mu.Unlock()
+}
+
+// writeFleetMetrics renders the e3_fleet_* series. Caller holds a.mu.
+func (a *API) writeFleetMetrics(w http.ResponseWriter) {
+	fs := a.fleet
+	if fs == nil {
+		return
+	}
+	fmt.Fprintln(w, "# HELP e3_fleet_replicas Replica shards in the attached fleet run.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_replicas gauge")
+	fmt.Fprintf(w, "e3_fleet_replicas %d\n", fs.Replicas)
+	fmt.Fprintln(w, "# HELP e3_fleet_workers Shard-runner worker count of the attached fleet run.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_workers gauge")
+	fmt.Fprintf(w, "e3_fleet_workers %d\n", fs.Workers)
+	fmt.Fprintln(w, "# HELP e3_fleet_epochs_total Routing epochs executed.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_epochs_total counter")
+	fmt.Fprintf(w, "e3_fleet_epochs_total %d\n", fs.Epochs)
+
+	fmt.Fprintln(w, "# HELP e3_fleet_samples_total Fleet front-door accounting by outcome.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_samples_total counter")
+	fmt.Fprintf(w, "e3_fleet_samples_total{outcome=\"minted\"} %d\n", fs.Minted)
+	fmt.Fprintf(w, "e3_fleet_samples_total{outcome=\"routed\"} %d\n", fs.Routed)
+	fmt.Fprintf(w, "e3_fleet_samples_total{outcome=\"door_shed\"} %d\n", fs.DoorShed)
+
+	fmt.Fprintln(w, "# HELP e3_fleet_events_total Simulator events processed, summed across shards.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_events_total counter")
+	fmt.Fprintf(w, "e3_fleet_events_total %d\n", fs.Events)
+
+	fmt.Fprintln(w, "# HELP e3_fleet_conserved Whether the fleet's conservation invariants held (1 = yes).")
+	fmt.Fprintln(w, "# TYPE e3_fleet_conserved gauge")
+	conserved := 0
+	if fs.Conserved {
+		conserved = 1
+	}
+	fmt.Fprintf(w, "e3_fleet_conserved %d\n", conserved)
+
+	fmt.Fprintln(w, "# HELP e3_fleet_replica_events_total Events processed per replica shard.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_replica_events_total counter")
+	for _, row := range fs.Rows {
+		fmt.Fprintf(w, "e3_fleet_replica_events_total{replica=\"%d\",gpus=\"%s\"} %d\n",
+			row.Index, promEscape(row.GPUs), row.Events)
+	}
+
+	fmt.Fprintln(w, "# HELP e3_fleet_tenant_samples_total Per-replica per-tenant outcomes of the attached fleet run.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_tenant_samples_total counter")
+	for _, row := range fs.Rows {
+		for _, tr := range row.Tenants {
+			base := fmt.Sprintf("replica=\"%d\",tenant=\"%s\"", row.Index, promEscape(tr.Tenant))
+			fmt.Fprintf(w, "e3_fleet_tenant_samples_total{%s,outcome=\"routed\"} %d\n", base, tr.Routed)
+			fmt.Fprintf(w, "e3_fleet_tenant_samples_total{%s,outcome=\"served\"} %d\n", base, tr.Served)
+			fmt.Fprintf(w, "e3_fleet_tenant_samples_total{%s,outcome=\"violated\"} %d\n", base, tr.Violations)
+			fmt.Fprintf(w, "e3_fleet_tenant_samples_total{%s,outcome=\"dropped\"} %d\n", base, tr.Dropped)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP e3_fleet_tenant_goodput_per_sec Goodput per (replica, tenant) stack.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_tenant_goodput_per_sec gauge")
+	for _, row := range fs.Rows {
+		for _, tr := range row.Tenants {
+			fmt.Fprintf(w, "e3_fleet_tenant_goodput_per_sec{replica=\"%d\",tenant=\"%s\"} %g\n",
+				row.Index, promEscape(tr.Tenant), tr.GoodputPS)
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP e3_fleet_tenant_burn_rate Final-epoch SLO budget burn per (replica, tenant) stack.")
+	fmt.Fprintln(w, "# TYPE e3_fleet_tenant_burn_rate gauge")
+	for _, row := range fs.Rows {
+		for _, tr := range row.Tenants {
+			fmt.Fprintf(w, "e3_fleet_tenant_burn_rate{replica=\"%d\",tenant=\"%s\"} %g\n",
+				row.Index, promEscape(tr.Tenant), tr.BurnRate)
+		}
+	}
+}

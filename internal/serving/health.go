@@ -55,6 +55,7 @@ type HealthResponse struct {
 	Flame  *HealthFlame        `json:"flame,omitempty"`
 	Replan *HealthReplan       `json:"replan,omitempty"`
 	Budget *slo.BudgetSnapshot `json:"slo_budget,omitempty"`
+	Fleet  *FleetStatus        `json:"fleet,omitempty"`
 }
 
 // handleHealthV1 reports readiness: 200 when the plan is loaded, any
@@ -101,6 +102,12 @@ func (a *API) handleHealthV1(w http.ResponseWriter, _ *http.Request) {
 			ready = ready && resp.Replan.Alive
 		}
 		resp.Budget = a.cp.Budget.Snapshot()
+	}
+	if a.fleet != nil {
+		// The fleet block carries one row per replica; a run whose
+		// conservation invariants failed is not servable.
+		resp.Fleet = a.fleet
+		ready = ready && a.fleet.Conserved
 	}
 	resp.Ready = ready
 	if !ready {

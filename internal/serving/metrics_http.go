@@ -92,6 +92,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 	a.writeControlPlaneMetrics(w)
 	a.writeFlameMetrics(w)
+	a.writeFleetMetrics(w)
 
 	if a.tracer == nil {
 		return

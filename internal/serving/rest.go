@@ -50,6 +50,9 @@ type API struct {
 	// /v1/health (nil/zero when the server booted without profiling).
 	flameProf *flame.Profile
 	flameStat flame.ReconcileStat
+	// fleet holds the boot-time fleet run's status for /v1/health rows
+	// and e3_fleet_* metrics (nil when the server booted without -fleet).
+	fleet *FleetStatus
 }
 
 // NewAPI builds the handler set for a planned model.

@@ -157,6 +157,13 @@ type Tracer struct {
 	// xferTrack/mergeTrack cache the per-stage track names: Transfer and
 	// Fuse fire once per batch, and formatting the same handful of strings
 	// millions of times was measurable on hour-long traces.
+	//
+	// Ownership: these maps — like every field above — are mutated
+	// without synchronization on the contract that one event loop owns
+	// the tracer. A tracer must never be shared across engines: two
+	// shard loops lazily inserting into the same cache map is a
+	// concurrent map write. The fleet tier gives each shard its own
+	// tracer for exactly this reason.
 	xferTrack  map[int]string
 	mergeTrack map[int]string
 }

@@ -25,6 +25,16 @@ import "math/bits"
 // Like audit.Ledger and telemetry.Tracer, a nil *BatchPool is valid and
 // pools nothing: call sites thread it unconditionally and pay a single
 // nil check when pooling is off.
+//
+// Ownership: a pool belongs to exactly ONE event loop — the engine whose
+// batchers and runners recycle through it — the same way the engine's
+// event heap does. Nothing here is synchronized (deliberately: see
+// above), so handing one pool to two engines, or moving a buffer Put on
+// one loop to a Get on another, is a data race the moment those loops
+// run on different goroutines. The fleet tier runs one engine per shard
+// in parallel and therefore builds one pool per shard at construction;
+// its ownership regression test pins that two shards never exchange
+// pooled buffers.
 type BatchPool struct {
 	classes [poolClasses][][]Sample
 
